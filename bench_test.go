@@ -1,0 +1,133 @@
+// Package softrate's root-level benchmarks regenerate every table and
+// figure of the paper's evaluation, one bench per artifact:
+//
+//	go test -bench=Fig13 -benchtime=1x .
+//	go test -bench=. -benchmem -benchtime=1x .
+//
+// Each benchmark runs the corresponding experiment harness at a reduced
+// sample scale (shape-preserving; pass -scale via cmd/softrate-experiments
+// for paper-scale runs) and prints the regenerated table on the first
+// iteration so `go test -bench` output doubles as a results report.
+package softrate
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"softrate/internal/experiments"
+)
+
+// benchScale keeps the full bench suite tractable while preserving every
+// shape the paper reports.
+const benchScale = 0.2
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
+			b.StopTimer()
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// ---- Section 5: SoftPHY evaluation ----
+
+// BenchmarkFig1SNRTrace regenerates Figure 1: SNR/BER fluctuation over a
+// walking-speed fading channel.
+func BenchmarkFig1SNRTrace(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3HintPatterns regenerates Figure 3: SoftPHY hint patterns
+// for collision vs fading losses.
+func BenchmarkFig3HintPatterns(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkTable1SilentLoss regenerates Table 1: fraction of frames losing
+// both preamble and postamble under hidden-terminal collisions.
+func BenchmarkTable1SilentLoss(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkFig4SilentLossRuns regenerates Figure 4: CCDF of consecutive
+// silent-loss runs.
+func BenchmarkFig4SilentLossRuns(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkTable2RateTable regenerates Table 2: the 802.11a/g rate set.
+func BenchmarkTable2RateTable(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkTable3Modes regenerates Table 3: OFDM prototype modes.
+func BenchmarkTable3Modes(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkFig5BERvsBER regenerates Figure 5: BER at QPSK 3/4 vs BER at
+// other rates (the §3.3 prediction observations).
+func BenchmarkFig5BERvsBER(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig7SoftPHYBER regenerates Figure 7(a,b,c): SoftPHY- and
+// SNR-based BER estimation in a static channel.
+func BenchmarkFig7SoftPHYBER(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8MobileSoftPHY regenerates Figure 8: SoftPHY BER estimation
+// under mobility.
+func BenchmarkFig8MobileSoftPHY(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9MobileSNR regenerates Figure 9: the SNR-BER curve shift
+// under mobility.
+func BenchmarkFig9MobileSNR(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10InterfererPower regenerates Figure 10: interference
+// detection accuracy vs interferer power.
+func BenchmarkFig10InterfererPower(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11InterfererRate regenerates Figure 11: interference
+// detection accuracy vs transmit bit rate.
+func BenchmarkFig11InterfererRate(b *testing.B) { runExperiment(b, "fig11") }
+
+// ---- Section 6: SoftRate evaluation ----
+
+// BenchmarkFig13SlowFadingTCP regenerates Figure 13: aggregate TCP
+// throughput vs number of clients over slow-fading mobile channels.
+func BenchmarkFig13SlowFadingTCP(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14RateAccuracy regenerates Figure 14: rate selection
+// accuracy in the mobile channel.
+func BenchmarkFig14RateAccuracy(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Convergence regenerates Figure 15: RRAA and SampleRate
+// convergence on an alternating synthetic channel.
+func BenchmarkFig15Convergence(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16FastFading regenerates Figure 16: normalized TCP
+// throughput vs channel coherence time.
+func BenchmarkFig16FastFading(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17Interference regenerates Figure 17: aggregate TCP
+// throughput vs carrier sense probability.
+func BenchmarkFig17Interference(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18InterferenceAccuracy regenerates Figure 18: rate selection
+// accuracy at Pr[CS]=0.8.
+func BenchmarkFig18InterferenceAccuracy(b *testing.B) { runExperiment(b, "fig18") }
+
+// ---- Design ablations (DESIGN.md §4) ----
+
+// BenchmarkAblationDecoder compares log-MAP vs max-log hints.
+func BenchmarkAblationDecoder(b *testing.B) { runExperiment(b, "ablation-decoder") }
+
+// BenchmarkAblationExcision toggles interference excision.
+func BenchmarkAblationExcision(b *testing.B) { runExperiment(b, "ablation-excision") }
+
+// BenchmarkAblationJumps compares 1- vs 2-level rate jumps.
+func BenchmarkAblationJumps(b *testing.B) { runExperiment(b, "ablation-jumps") }
+
+// BenchmarkAblationHARQ contrasts frame-ARQ and hybrid-ARQ thresholds.
+func BenchmarkAblationHARQ(b *testing.B) { runExperiment(b, "ablation-harq") }
+
+// BenchmarkAblationSilentRuns sweeps the silent-loss run threshold.
+func BenchmarkAblationSilentRuns(b *testing.B) { runExperiment(b, "ablation-silent") }

@@ -1,0 +1,67 @@
+// Command softrate-experiments regenerates the tables and figures of the
+// SoftRate paper (SIGCOMM 2009) from this repository's simulation stack.
+//
+// Usage:
+//
+//	softrate-experiments -list
+//	softrate-experiments -run fig13 [-scale 1.0] [-seed 42]
+//	softrate-experiments -all [-scale 0.25]
+//
+// Scale 1.0 approximates the paper's sample sizes (slow); the default 0.25
+// reproduces every shape in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"softrate/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiment IDs")
+		run   = flag.String("run", "", "comma-separated experiment IDs to run")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Float64("scale", 0.25, "sample-size scale (1.0 = paper scale)")
+		seed  = flag.Int64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "specify -list, -run <ids> or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,133 @@
+// Command softratesim runs a single-link TCP simulation with a chosen rate
+// adaptation algorithm over a chosen channel — a quick way to compare
+// algorithms outside the fixed experiment harnesses.
+//
+// Usage:
+//
+//	softratesim -alg softrate -channel walking -duration 10
+//	softratesim -alg samplerate -channel fading -doppler 400 -snr 18
+//	softratesim -alg all -channel walking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"softrate/internal/channel"
+	"softrate/internal/core"
+	"softrate/internal/netsim"
+	"softrate/internal/ofdm"
+	"softrate/internal/rate"
+	"softrate/internal/ratectl"
+	"softrate/internal/trace"
+)
+
+func lossless() []float64 {
+	rs := rate.Evaluation()
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = ofdm.Simulation.PayloadAirtime(1400, r, false)
+	}
+	return out
+}
+
+func factoryFor(alg string) (netsim.AdapterFactory, error) {
+	switch alg {
+	case "softrate":
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return ratectl.NewSoftRate(core.DefaultConfig())
+		}, nil
+	case "omniscient":
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return &ratectl.Omniscient{Oracle: fwd.BestRateAt}
+		}, nil
+	case "snr":
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
+			return ratectl.NewSNRBased(th, "SNR (trained)")
+		}, nil
+	case "charm":
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
+			return ratectl.NewCHARM(th)
+		}, nil
+	case "rraa":
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return ratectl.NewRRAA(rate.Evaluation(), lossless(), true)
+		}, nil
+	case "samplerate":
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return ratectl.NewSampleRate(rate.Evaluation(), lossless(), rand.New(rand.NewSource(rng.Int63())))
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+func main() {
+	var (
+		alg      = flag.String("alg", "softrate", "softrate | omniscient | snr | charm | rraa | samplerate | all")
+		chanKind = flag.String("channel", "walking", "walking | fading | static")
+		doppler  = flag.Float64("doppler", 40, "Doppler Hz (fading)")
+		snr      = flag.Float64("snr", 18, "mean SNR dB (fading/static)")
+		duration = flag.Float64("duration", 10, "seconds")
+		flows    = flag.Int("flows", 1, "number of TCP flows/clients")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	mkModel := func(rng *rand.Rand) *channel.Model {
+		switch *chanKind {
+		case "walking":
+			return channel.NewWalkingModel(rng,
+				channel.LinearTrajectory{StartDist: 2, Speed: 1.2},
+				channel.PathLoss{RefSNRdB: 26, RefDist: 1, Exponent: 2.2})
+		case "fading":
+			return channel.NewStaticModel(*snr, channel.NewRayleigh(rng, *doppler, 0))
+		case "static":
+			return channel.NewStaticModel(*snr, nil)
+		}
+		fmt.Fprintf(os.Stderr, "unknown channel %q\n", *chanKind)
+		os.Exit(2)
+		return nil
+	}
+
+	var fwd, rev []*trace.LinkTrace
+	for i := 0; i < *flows; i++ {
+		for j := 0; j < 2; j++ {
+			s := *seed + int64(2*i+j)
+			lt := trace.Generate(trace.GenConfig{
+				Model:    mkModel(rand.New(rand.NewSource(s))),
+				Duration: *duration,
+				Seed:     s + 100,
+			})
+			if j == 0 {
+				fwd = append(fwd, lt)
+			} else {
+				rev = append(rev, lt)
+			}
+		}
+	}
+
+	algs := []string{*alg}
+	if *alg == "all" {
+		algs = []string{"omniscient", "softrate", "snr", "charm", "rraa", "samplerate"}
+	}
+	for _, a := range algs {
+		factory, err := factoryFor(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg := netsim.DefaultConfig()
+		cfg.Duration = *duration
+		cfg.Seed = *seed
+		res := netsim.RunUplink(cfg, fwd, rev, factory)
+		fmt.Printf("%-12s aggregate %7.2f Mbps", a, res.AggregateBps/1e6)
+		for i, f := range res.Flows {
+			fmt.Printf("  flow%d %.2f Mbps (retx %d, timeouts %d)", i, f.ThroughputBps/1e6, f.Retransmits, f.Timeouts)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,89 @@
+// Package bitutil provides bit-level utilities shared by the PHY and link
+// layers: bit/byte packing, CRC computation for frame and header integrity,
+// and a small deterministic PRNG wrapper used to make every experiment
+// reproducible from a seed.
+package bitutil
+
+import "math/rand"
+
+// BytesToBits unpacks a byte slice into one bit per byte (values 0 or 1),
+// most-significant bit first, matching the transmission order used by the
+// PHY encoder.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs a bit slice (one bit per byte, MSB first) back into
+// bytes. If len(bits) is not a multiple of 8 the final byte is zero-padded
+// in its least-significant positions.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+// CountBitErrors returns the number of positions at which a and b differ.
+// The comparison runs over the shorter of the two slices; a length mismatch
+// beyond that is counted as one error per missing bit so that truncated
+// frames register as heavily errored rather than silently clean.
+func CountBitErrors(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			errs++
+		}
+	}
+	if len(a) > n {
+		errs += len(a) - n
+	}
+	if len(b) > n {
+		errs += len(b) - n
+	}
+	return errs
+}
+
+// XORBits returns the element-wise XOR of two equal-length bit slices.
+// It panics if the lengths differ; callers are expected to align inputs.
+func XORBits(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic("bitutil: XORBits length mismatch")
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// RandomBits fills a new slice of n bits using rng, for payload generation
+// in tests and experiments.
+func RandomBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+// RandomBytes returns n random bytes drawn from rng.
+func RandomBytes(rng *rand.Rand, n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	return data
+}

@@ -1,0 +1,158 @@
+package bitutil
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesToBitsKnown(t *testing.T) {
+	bits := BytesToBits([]byte{0xA5})
+	want := []byte{1, 0, 1, 0, 0, 1, 0, 1}
+	if !bytes.Equal(bits, want) {
+		t.Fatalf("BytesToBits(0xA5) = %v, want %v", bits, want)
+	}
+}
+
+func TestBitsToBytesPadding(t *testing.T) {
+	// 10 bits: the last byte must be zero-padded on the LSB side.
+	bits := []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	got := BitsToBytes(bits)
+	want := []byte{0xFF, 0xC0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BitsToBytes = %x, want %x", got, want)
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBitErrors(t *testing.T) {
+	a := []byte{0, 1, 0, 1}
+	b := []byte{0, 0, 0, 1}
+	if got := CountBitErrors(a, b); got != 1 {
+		t.Fatalf("CountBitErrors = %d, want 1", got)
+	}
+	if got := CountBitErrors(a, a); got != 0 {
+		t.Fatalf("CountBitErrors(a,a) = %d, want 0", got)
+	}
+	// Length mismatch counts the tail as errors.
+	if got := CountBitErrors(a, b[:2]); got != 2+1 {
+		t.Fatalf("CountBitErrors with truncation = %d, want 3", got)
+	}
+}
+
+func TestXORBitsSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomBits(rng, 64)
+	b := RandomBits(rng, 64)
+	if !bytes.Equal(XORBits(XORBits(a, b), b), a) {
+		t.Fatal("XORBits is not self-inverse")
+	}
+}
+
+func TestXORBitsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	XORBits([]byte{1}, []byte{1, 0})
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32Linearity(t *testing.T) {
+	// CRC of equal-length messages: crc(a) ^ crc(b) == crc(a^b) ^ crc(0).
+	// This linearity property is what makes CRCs detect burst errors; it is
+	// a strong structural check on the table construction.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		a := RandomBytes(rng, n)
+		b := RandomBytes(rng, n)
+		ab := make([]byte, n)
+		for i := range a {
+			ab[i] = a[i] ^ b[i]
+		}
+		zero := make([]byte, n)
+		return CRC32(a)^CRC32(b) == CRC32(ab)^CRC32(zero)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendCheckCRC32(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	payload := RandomBytes(rng, 100)
+	frame := AppendCRC32(payload)
+	got, ok := CheckCRC32(frame)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("CRC32 round trip failed")
+	}
+	// Flip one bit anywhere: the check must fail.
+	for i := 0; i < len(frame); i += 13 {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x10
+		if _, ok := CheckCRC32(bad); ok {
+			t.Fatalf("CRC32 missed a bit flip at byte %d", i)
+		}
+	}
+}
+
+func TestCheckCRC32Short(t *testing.T) {
+	if _, ok := CheckCRC32([]byte{1, 2, 3}); ok {
+		t.Fatal("short frame must fail CRC check")
+	}
+}
+
+func TestCRC16Known(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1 (standard check value).
+	if got := CRC16CCITT([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16CCITT check value = %#04x, want 0x29B1", got)
+	}
+}
+
+func TestCRC16DetectsFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := RandomBytes(rng, 16)
+	orig := CRC16CCITT(data)
+	for i := range data {
+		data[i] ^= 1
+		if CRC16CCITT(data) == orig {
+			t.Fatalf("CRC16 missed flip at byte %d", i)
+		}
+		data[i] ^= 1
+	}
+}
+
+func TestRandomBitsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bits := RandomBits(rng, 1000)
+	ones := 0
+	for _, b := range bits {
+		if b != 0 && b != 1 {
+			t.Fatalf("RandomBits produced %d", b)
+		}
+		ones += int(b)
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("RandomBits balance suspicious: %d ones of 1000", ones)
+	}
+}

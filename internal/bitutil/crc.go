@@ -1,0 +1,76 @@
+package bitutil
+
+// CRC16CCITT computes the CRC-16/CCITT-FALSE checksum (polynomial 0x1021,
+// initial value 0xFFFF) over data. SoftRate protects the link-layer header
+// with this separate CRC so that the sender and receiver identities can be
+// recovered even when the frame body has bit errors (§3 of the paper).
+func CRC16CCITT(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// crc32Table is the reflected CRC-32 (IEEE 802.3) lookup table, built once
+// at init. We implement CRC-32 locally rather than importing hash/crc32 so
+// the PHY package can checksum raw bit streams without allocation churn and
+// so the implementation is visible for the property tests that check CRC
+// linearity.
+var crc32Table [256]uint32
+
+func init() {
+	const poly = 0xEDB88320
+	for i := range crc32Table {
+		crc := uint32(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		crc32Table[i] = crc
+	}
+}
+
+// CRC32 computes the IEEE 802.3 CRC-32 over data, as used by the 802.11 FCS
+// that decides whether a received frame is error-free.
+func CRC32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc32Table[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}
+
+// AppendCRC32 returns data with its CRC-32 appended big-endian, forming the
+// over-the-air frame body the PHY encodes.
+func AppendCRC32(data []byte) []byte {
+	crc := CRC32(data)
+	out := make([]byte, 0, len(data)+4)
+	out = append(out, data...)
+	out = append(out, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	return out
+}
+
+// CheckCRC32 verifies a frame produced by AppendCRC32 and returns the
+// payload with the checksum stripped along with the verdict.
+func CheckCRC32(frame []byte) (payload []byte, ok bool) {
+	if len(frame) < 4 {
+		return nil, false
+	}
+	payload = frame[:len(frame)-4]
+	want := uint32(frame[len(frame)-4])<<24 |
+		uint32(frame[len(frame)-3])<<16 |
+		uint32(frame[len(frame)-2])<<8 |
+		uint32(frame[len(frame)-1])
+	return payload, CRC32(payload) == want
+}

@@ -1,0 +1,174 @@
+package coding
+
+import "math"
+
+// BCJRMode selects the recursion arithmetic of the BCJR decoder.
+type BCJRMode int
+
+const (
+	// LogMAP uses the exact Jacobian logarithm via a lookup-table
+	// correction; it is the reference mode and produces calibrated LLRs.
+	LogMAP BCJRMode = iota
+	// MaxLog drops the correction term (max-log-MAP). It is faster and
+	// slightly optimistic in its confidences; used in the decoder ablation.
+	MaxLog
+)
+
+// maxStarRange is the difference beyond which the Jacobian correction term
+// log(1+exp(-d)) is below 3e-5 and is skipped.
+const maxStarRange = 10.0
+
+// maxStar computes log(exp(a)+exp(b)) exactly (up to the cutoff above).
+// Keeping the correction exact matters: the SoftPHY hint calibration of
+// Equation 3 is a statement about true a-posteriori probabilities, and a
+// coarse tabulated correction accumulates enough bias over a frame-length
+// recursion to visibly distort the hint-vs-BER curve.
+func maxStar(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		a = b
+		d = -d
+	}
+	if d >= maxStarRange {
+		return a
+	}
+	return a + math.Log1p(math.Exp(-d))
+}
+
+const bcjrNegInf = -1e30
+
+// DecodeBCJR runs the BCJR (log-MAP) algorithm over rate-1/2 channel LLRs
+// (after DepunctureLLR for punctured rates) and returns the hard decisions
+// together with the a-posteriori LLR for each information bit. |llrOut[k]|
+// is the SoftPHY hint s_k; Equation 3 of the paper converts it to the
+// probability that bit k was decoded in error:
+//
+//	p_k = 1 / (1 + exp(s_k))
+//
+// The trellis is terminated (Encode's tail), so both recursions are
+// anchored in state 0.
+func DecodeBCJR(llrs []float64, nInfo int, mode BCJRMode) (info []byte, llrOut []float64) {
+	steps := nInfo + TailBits
+	if len(llrs) < 2*steps {
+		padded := make([]float64, 2*steps)
+		copy(padded, llrs)
+		llrs = padded
+	}
+	tr := theTrellis
+
+	comb := func(a, b float64) float64 {
+		if a <= bcjrNegInf {
+			return b
+		}
+		if b <= bcjrNegInf {
+			return a
+		}
+		if mode == MaxLog {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		return maxStar(a, b)
+	}
+
+	// Forward recursion.
+	alpha := make([][numStates]float64, steps+1)
+	for s := 1; s < numStates; s++ {
+		alpha[0][s] = bcjrNegInf
+	}
+	for t := 0; t < steps; t++ {
+		l0, l1 := llrs[2*t], llrs[2*t+1]
+		for s := 0; s < numStates; s++ {
+			alpha[t+1][s] = bcjrNegInf
+		}
+		for s := 0; s < numStates; s++ {
+			a := alpha[t][s]
+			if a <= bcjrNegInf {
+				continue
+			}
+			for u := uint8(0); u < 2; u++ {
+				ns := tr.nextState[s][u]
+				g := branchMetric(tr.output[s][u], l0, l1)
+				alpha[t+1][ns] = comb(alpha[t+1][ns], a+g)
+			}
+		}
+		normalize(&alpha[t+1])
+	}
+
+	// Backward recursion.
+	beta := make([][numStates]float64, steps+1)
+	for s := 1; s < numStates; s++ {
+		beta[steps][s] = bcjrNegInf
+	}
+	for t := steps - 1; t >= 0; t-- {
+		l0, l1 := llrs[2*t], llrs[2*t+1]
+		for s := 0; s < numStates; s++ {
+			beta[t][s] = bcjrNegInf
+		}
+		for s := 0; s < numStates; s++ {
+			for u := uint8(0); u < 2; u++ {
+				ns := tr.nextState[s][u]
+				b := beta[t+1][ns]
+				if b <= bcjrNegInf {
+					continue
+				}
+				g := branchMetric(tr.output[s][u], l0, l1)
+				beta[t][s] = comb(beta[t][s], b+g)
+			}
+		}
+		normalize(&beta[t])
+	}
+
+	// Per-bit APP LLRs.
+	info = make([]byte, nInfo)
+	llrOut = make([]float64, nInfo)
+	for t := 0; t < nInfo; t++ {
+		l0, l1 := llrs[2*t], llrs[2*t+1]
+		num, den := bcjrNegInf, bcjrNegInf // input 1, input 0
+		for s := 0; s < numStates; s++ {
+			a := alpha[t][s]
+			if a <= bcjrNegInf {
+				continue
+			}
+			for u := uint8(0); u < 2; u++ {
+				ns := tr.nextState[s][u]
+				b := beta[t+1][ns]
+				if b <= bcjrNegInf {
+					continue
+				}
+				m := a + branchMetric(tr.output[s][u], l0, l1) + b
+				if u == 1 {
+					num = comb(num, m)
+				} else {
+					den = comb(den, m)
+				}
+			}
+		}
+		llr := num - den
+		llrOut[t] = llr
+		if llr >= 0 {
+			info[t] = 1
+		}
+	}
+	return info, llrOut
+}
+
+// normalize subtracts the maximum from a metric vector to keep the log
+// domain recursion numerically bounded over long frames.
+func normalize(v *[numStates]float64) {
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if max <= bcjrNegInf {
+		return
+	}
+	for i := range v {
+		if v[i] > bcjrNegInf {
+			v[i] -= max
+		}
+	}
+}

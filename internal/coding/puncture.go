@@ -1,0 +1,117 @@
+package coding
+
+import "fmt"
+
+// CodeRate identifies one of the three 802.11a/g code rates. Rate 1/2 is
+// the mother code; 2/3 and 3/4 are obtained by puncturing.
+type CodeRate int
+
+// The supported code rates.
+const (
+	Rate12 CodeRate = iota // rate 1/2, no puncturing
+	Rate23                 // rate 2/3
+	Rate34                 // rate 3/4
+)
+
+// String implements fmt.Stringer.
+func (r CodeRate) String() string {
+	switch r {
+	case Rate12:
+		return "1/2"
+	case Rate23:
+		return "2/3"
+	case Rate34:
+		return "3/4"
+	}
+	return fmt.Sprintf("CodeRate(%d)", int(r))
+}
+
+// Fraction returns the code rate as numerator/denominator (information bits
+// per coded bit).
+func (r CodeRate) Fraction() (num, den int) {
+	switch r {
+	case Rate12:
+		return 1, 2
+	case Rate23:
+		return 2, 3
+	case Rate34:
+		return 3, 4
+	}
+	panic("coding: unknown code rate")
+}
+
+// Value returns the code rate as a float.
+func (r CodeRate) Value() float64 {
+	n, d := r.Fraction()
+	return float64(n) / float64(d)
+}
+
+// puncturePattern returns the keep/drop mask applied cyclically to the
+// rate-1/2 coded stream (ordered out0,out1 per input bit). The patterns are
+// the standard 802.11a ones: for rate 3/4 the puncturing matrix is
+// A=[1 1 0], B=[1 0 1] (transmit a1 b1 a2 b3); for rate 2/3 it is
+// A=[1 1], B=[1 0] (transmit a1 b1 a2).
+func (r CodeRate) puncturePattern() []bool {
+	switch r {
+	case Rate12:
+		return []bool{true, true}
+	case Rate23:
+		// Stream order a1 b1 a2 b2 -> keep a1 b1 a2.
+		return []bool{true, true, true, false}
+	case Rate34:
+		// Stream order a1 b1 a2 b2 a3 b3 -> keep a1 b1 a2 b3.
+		return []bool{true, true, true, false, false, true}
+	}
+	panic("coding: unknown code rate")
+}
+
+// Puncture drops coded bits from the rate-1/2 stream according to the
+// pattern for r, producing the transmitted coded stream.
+func Puncture(coded []byte, r CodeRate) []byte {
+	pat := r.puncturePattern()
+	out := make([]byte, 0, len(coded)*3/4)
+	for i, b := range coded {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// PuncturedLen returns the number of transmitted coded bits for a rate-1/2
+// stream of length n punctured at rate r.
+func PuncturedLen(n int, r CodeRate) int {
+	pat := r.puncturePattern()
+	full := n / len(pat)
+	kept := 0
+	for _, k := range pat {
+		if k {
+			kept++
+		}
+	}
+	total := full * kept
+	for i := full * len(pat); i < n; i++ {
+		if pat[i%len(pat)] {
+			total++
+		}
+	}
+	return total
+}
+
+// DepunctureLLR expands the received channel LLRs of a punctured stream
+// back to the rate-1/2 lattice, inserting zero LLRs (erasures) at punctured
+// positions. nCoded is the rate-1/2 coded length, i.e. CodedLen(nInfo).
+// It returns an error-shaped panic-free nil if llrs is shorter than the
+// punctured length implies; callers validate sizes upstream.
+func DepunctureLLR(llrs []float64, r CodeRate, nCoded int) []float64 {
+	pat := r.puncturePattern()
+	out := make([]float64, nCoded)
+	j := 0
+	for i := 0; i < nCoded && j < len(llrs); i++ {
+		if pat[i%len(pat)] {
+			out[i] = llrs[j]
+			j++
+		}
+	}
+	return out
+}

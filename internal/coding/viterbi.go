@@ -1,0 +1,90 @@
+package coding
+
+// DecodeViterbi runs a soft-decision Viterbi decoder over the rate-1/2
+// channel LLRs (use DepunctureLLR first for punctured rates) and returns
+// the nInfo decoded information bits. The trellis is assumed terminated in
+// the all-zero state by the TailBits appended by Encode.
+//
+// Viterbi yields maximum-likelihood *sequence* decisions but no per-bit
+// confidence; it exists as the baseline decoder against which the
+// soft-output BCJR decoder is compared (ablation in DESIGN.md §4).
+func DecodeViterbi(llrs []float64, nInfo int) []byte {
+	steps := nInfo + TailBits
+	if len(llrs) < 2*steps {
+		padded := make([]float64, 2*steps)
+		copy(padded, llrs)
+		llrs = padded
+	}
+	const negInf = -1e30
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = negInf
+	}
+	// survivors[t][s] holds the predecessor state of the winning branch
+	// into state s at step t. Both branches entering a state carry the
+	// same input bit (the state's top bit), so the input is recovered
+	// from the state itself during traceback.
+	survivors := make([][numStates]uint8, steps)
+	tr := theTrellis
+	for t := 0; t < steps; t++ {
+		l0, l1 := llrs[2*t], llrs[2*t+1]
+		for s := range next {
+			next[s] = negInf
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m <= negInf {
+				continue
+			}
+			for u := uint8(0); u < 2; u++ {
+				ns := tr.nextState[s][u]
+				o := tr.output[s][u]
+				bm := m + branchMetric(o, l0, l1)
+				if bm > next[ns] {
+					next[ns] = bm
+					survivors[t][ns] = uint8(s)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+	// Traceback from state 0 (terminated trellis). The input bit consumed
+	// when entering state s is s's most significant state bit.
+	info := make([]byte, steps)
+	state := uint8(0)
+	for t := steps - 1; t >= 0; t-- {
+		info[t] = state >> (Constraint - 2) & 1
+		state = survivors[t][state]
+	}
+	return info[:nInfo]
+}
+
+// branchMetric is the log-likelihood contribution of a branch emitting the
+// coded bit pair o (out0 in bit 1, out1 in bit 0) given channel LLRs l0,l1.
+// With the convention LLR>0 <=> bit 1, the metric for coded bit c with LLR
+// l is +l/2 if c=1, -l/2 if c=0 (the constant common term cancels).
+func branchMetric(o uint8, l0, l1 float64) float64 {
+	m := -0.5 * (l0 + l1)
+	if o&2 != 0 {
+		m += l0
+	}
+	if o&1 != 0 {
+		m += l1
+	}
+	return m
+}
+
+// HardToLLR converts hard-decision bits into saturated LLRs of magnitude
+// mag, for driving the soft decoders with hard-decision inputs in tests.
+func HardToLLR(bits []byte, mag float64) []float64 {
+	llrs := make([]float64, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			llrs[i] = mag
+		} else {
+			llrs[i] = -mag
+		}
+	}
+	return llrs
+}

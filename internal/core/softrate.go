@@ -1,0 +1,273 @@
+// Package core implements the SoftRate bit rate adaptation algorithm of
+// §3.3 — the paper's primary contribution. A SoftRate sender receives one
+// interference-free BER measurement per transmitted frame (computed by the
+// receiver from SoftPHY hints and echoed in the link-layer feedback) and
+// steers the transmit bit rate toward the one that minimizes air time.
+//
+// The algorithm rests on three mechanisms:
+//
+//  1. A BER prediction heuristic: at a fixed SNR the BER is monotonically
+//     increasing in bit rate, and within the usable range (< 1e-2) each
+//     step up in rate costs at least a factor of 10 in BER.
+//  2. Per-rate optimal threshold ranges (α_i, β_i): when the BER at rate
+//     R_i lies inside (α_i, β_i), R_i is the throughput-optimal rate. The
+//     thresholds depend on the link layer's error recovery scheme, which
+//     is abstracted behind the ErrorRecovery interface — this is the
+//     modularity argument of §3.3 (rate adaptation decoupled from error
+//     recovery).
+//  3. A selection rule that moves the rate in the direction of optimum,
+//     jumping up to MaxJump levels at a time when the BER is orders of
+//     magnitude outside the optimal band.
+//
+// Silent losses (no feedback at all) are handled per §3.2: a run of
+// SilentLossRun consecutive silent losses is taken as evidence of a weak
+// signal (collisions essentially never produce runs of 3+, Figure 4) and
+// the sender steps the rate down.
+package core
+
+import (
+	"math"
+
+	"softrate/internal/rate"
+)
+
+// ErrorRecovery abstracts the link layer's error recovery scheme for
+// threshold computation. UpperBER returns β_i: the channel BER at rate r
+// above which dropping to the next lower rate wins.
+type ErrorRecovery interface {
+	UpperBER(r rate.Rate, frameBits int) float64
+}
+
+// FrameARQ models 802.11-style whole-frame retransmission. With
+// frame-level ARQ the throughput at rate R_i beats R_{i-1} until the frame
+// loss rate reaches roughly the rate step ratio; following the paper's
+// worked example (§3.3), the break-even frame loss rate is 1/3 (an 18→12
+// Mbps step), giving β = -ln(1 - 1/3)/L for L-bit frames — order 1e-5 for
+// 10^4-bit frames, exactly the paper's number.
+type FrameARQ struct {
+	// LossTolerance is the break-even frame loss rate (default 1/3).
+	LossTolerance float64
+}
+
+// UpperBER implements ErrorRecovery.
+func (f FrameARQ) UpperBER(_ rate.Rate, frameBits int) float64 {
+	tol := f.LossTolerance
+	if tol <= 0 {
+		tol = 1.0 / 3
+	}
+	if frameBits <= 0 {
+		frameBits = 10000
+	}
+	return -math.Log(1-tol) / float64(frameBits)
+}
+
+// HybridARQ models a smarter recovery scheme that retransmits only a small
+// number of parity bits on error (incremental redundancy / PPR-style). A
+// few bit errors are cheap to repair, so a rate stays profitable up to a
+// much higher BER; the paper's example sets β at 1e-3 for 10^4-bit frames,
+// i.e. about bit-errors-per-frame ≈ 10 being the break-even point.
+type HybridARQ struct {
+	// TolerableErrorsPerFrame is the number of bit errors per frame at
+	// which the retransmission overhead cancels the rate gain
+	// (default 10).
+	TolerableErrorsPerFrame float64
+}
+
+// UpperBER implements ErrorRecovery.
+func (h HybridARQ) UpperBER(_ rate.Rate, frameBits int) float64 {
+	tol := h.TolerableErrorsPerFrame
+	if tol <= 0 {
+		tol = 10
+	}
+	if frameBits <= 0 {
+		frameBits = 10000
+	}
+	return tol / float64(frameBits)
+}
+
+// Config parameterizes the SoftRate algorithm.
+type Config struct {
+	// Rates is the available rate set in increasing order (default: the
+	// six-rate evaluation subset).
+	Rates []rate.Rate
+	// FrameBits is the nominal frame size used for threshold computation.
+	FrameBits int
+	// Recovery selects the error recovery model (default FrameARQ).
+	Recovery ErrorRecovery
+	// UpMargin is the per-level safety factor between β_i and the
+	// increase threshold: α_i = β_i / UpMargin. The default 100 encodes
+	// the paper's worked example (β=1e-5 ⇒ α=1e-7) and covers rate steps
+	// that cost up to two orders of magnitude in BER.
+	UpMargin float64
+	// DownMargin is the per-extra-level factor for multi-level down
+	// jumps: jump n levels down when BER > β_i · DownMargin^(n-1). The
+	// default 1000 encodes the example "BER above 1e-2 ⇒ jump two rates
+	// below an 1e-5 threshold".
+	DownMargin float64
+	// MaxJump bounds the levels moved per decision (the implementation in
+	// the paper does up to two).
+	MaxJump int
+	// SilentLossRun is the number of consecutive silent losses taken to
+	// mean a weak signal (Figure 4 analysis ⇒ 3).
+	SilentLossRun int
+}
+
+// DefaultConfig returns the configuration matching the paper's
+// implementation: six evaluation rates, 1400-byte frames, frame-level ARQ,
+// two-level jumps, three-silent-loss rule.
+func DefaultConfig() Config {
+	return Config{
+		Rates:         rate.Evaluation(),
+		FrameBits:     1400 * 8,
+		Recovery:      FrameARQ{},
+		UpMargin:      100,
+		DownMargin:    1000,
+		MaxJump:       2,
+		SilentLossRun: 3,
+	}
+}
+
+// Feedback is the per-frame information echoed by a SoftRate receiver: the
+// interference-free BER estimate for the frame, the rate it was sent at,
+// and whether the receiver's heuristic attributed damage to a collision.
+type Feedback struct {
+	// RateIndex is the index (into Config.Rates) the frame was sent at.
+	RateIndex int
+	// BER is the receiver's interference-free BER estimate.
+	BER float64
+	// Collision reports the receiver's interference verdict; it is
+	// informational (the BER is already interference-free) but lets the
+	// sender count collision statistics.
+	Collision bool
+}
+
+// SoftRate is the sender-side algorithm state.
+type SoftRate struct {
+	cfg       Config
+	cur       int
+	silentRun int
+
+	alpha []float64 // increase thresholds α_i
+	beta  []float64 // decrease thresholds β_i
+}
+
+// New builds a SoftRate instance starting at the lowest rate.
+func New(cfg Config) *SoftRate {
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = rate.Evaluation()
+	}
+	if cfg.FrameBits <= 0 {
+		cfg.FrameBits = 1400 * 8
+	}
+	if cfg.Recovery == nil {
+		cfg.Recovery = FrameARQ{}
+	}
+	if cfg.UpMargin <= 1 {
+		cfg.UpMargin = 100
+	}
+	if cfg.DownMargin <= 1 {
+		cfg.DownMargin = 1000
+	}
+	if cfg.MaxJump <= 0 {
+		cfg.MaxJump = 2
+	}
+	if cfg.SilentLossRun <= 0 {
+		cfg.SilentLossRun = 3
+	}
+	s := &SoftRate{cfg: cfg}
+	s.alpha = make([]float64, len(cfg.Rates))
+	s.beta = make([]float64, len(cfg.Rates))
+	for i, r := range cfg.Rates {
+		s.beta[i] = cfg.Recovery.UpperBER(r, cfg.FrameBits)
+		s.alpha[i] = s.beta[i] / cfg.UpMargin
+	}
+	return s
+}
+
+// CurrentRate returns the rate the sender will use for the next frame.
+func (s *SoftRate) CurrentRate() rate.Rate { return s.cfg.Rates[s.cur] }
+
+// CurrentIndex returns the index of the current rate in the configured set.
+func (s *SoftRate) CurrentIndex() int { return s.cur }
+
+// Thresholds exposes (α_i, β_i) for rate index i, mainly for tests,
+// documentation and the threshold-ablation bench.
+func (s *SoftRate) Thresholds(i int) (alpha, beta float64) {
+	return s.alpha[i], s.beta[i]
+}
+
+// OnFeedback processes one per-frame BER feedback and adjusts the rate in
+// the direction of the optimal one, moving multiple levels when the BER is
+// far outside the optimal band.
+func (s *SoftRate) OnFeedback(fb Feedback) {
+	s.silentRun = 0
+	i := fb.RateIndex
+	if i < 0 || i >= len(s.cfg.Rates) {
+		i = s.cur
+	}
+	b := fb.BER
+	switch {
+	case b > s.beta[i]:
+		// Jump n levels down while the BER exceeds β_i by DownMargin per
+		// extra level.
+		n := 1
+		for n < s.cfg.MaxJump && b > s.beta[i]*math.Pow(s.cfg.DownMargin, float64(n)) {
+			n++
+		}
+		s.cur = clamp(i-n, 0, len(s.cfg.Rates)-1)
+	case b < s.alpha[i]:
+		// Jump n levels up while the BER clears α_i by UpMargin per
+		// extra level.
+		n := 1
+		for n < s.cfg.MaxJump && b < s.beta[i]/math.Pow(s.cfg.UpMargin, float64(n+1)) {
+			n++
+		}
+		s.cur = clamp(i+n, 0, len(s.cfg.Rates)-1)
+	default:
+		s.cur = clamp(i, 0, len(s.cfg.Rates)-1)
+	}
+}
+
+// OnSilentLoss records a transmission for which no feedback of any kind
+// arrived. After SilentLossRun consecutive silent losses the sender
+// concludes the signal is too weak for the receiver to even detect frames
+// and steps down one rate (§3.2).
+func (s *SoftRate) OnSilentLoss() {
+	s.silentRun++
+	if s.silentRun >= s.cfg.SilentLossRun {
+		s.silentRun = 0
+		s.cur = clamp(s.cur-1, 0, len(s.cfg.Rates)-1)
+	}
+}
+
+// OnPostambleFeedback handles the postamble-only reception case: the
+// receiver saw the postamble (so it ACKed) but the preamble — and with it
+// the body — was lost to a collision. The sender learns the loss was
+// interference, not attenuation, and keeps its rate (§3.2).
+func (s *SoftRate) OnPostambleFeedback() {
+	s.silentRun = 0
+}
+
+// PredictBER applies the §3.3 prediction heuristic: each rate step changes
+// BER by at least a factor of 10 within the usable range. It returns the
+// (conservative) predicted BER at rate index 'to' given a measured BER at
+// index 'from' — a tool for tests and the omniscient comparisons, not used
+// in the decision rule itself (the thresholds already encode the margins).
+func PredictBER(ber float64, from, to int) float64 {
+	steps := float64(to - from)
+	p := ber * math.Pow(10, steps)
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

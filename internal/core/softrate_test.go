@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"softrate/internal/rate"
+)
+
+func TestFrameARQThresholdsMatchPaperExample(t *testing.T) {
+	// §3.3: "For a packet size of 10000 bits, that BER would be of the
+	// order 1e-5" (frame loss rate 1/3), and the optimal thresholds for
+	// 18 Mbps would be (1e-7, 1e-5).
+	cfg := DefaultConfig()
+	cfg.FrameBits = 10000
+	s := New(cfg)
+	alpha, beta := s.Thresholds(3) // QPSK 3/4 = 18 Mbps
+	if beta < 1e-5/3 || beta > 1e-4 {
+		t.Errorf("beta = %v, want order 1e-5", beta)
+	}
+	if alpha < 1e-7/3 || alpha > 1e-6 {
+		t.Errorf("alpha = %v, want order 1e-7", alpha)
+	}
+	if math.Abs(alpha*cfg.UpMargin-beta) > 1e-15 {
+		t.Errorf("alpha must be beta/UpMargin")
+	}
+}
+
+func TestHybridARQShiftsThresholdsUp(t *testing.T) {
+	// §3.3: a smarter ARQ tolerates BER up to ~1e-3 for 10^4-bit frames.
+	cfg := DefaultConfig()
+	cfg.FrameBits = 10000
+	cfg.Recovery = HybridARQ{}
+	s := New(cfg)
+	_, beta := s.Thresholds(3)
+	if beta != 1e-3 {
+		t.Errorf("H-ARQ beta = %v, want 1e-3", beta)
+	}
+	frame := New(DefaultConfig())
+	_, betaFrame := frame.Thresholds(3)
+	if beta <= betaFrame*10 {
+		t.Errorf("H-ARQ thresholds (%v) must sit well above frame-ARQ (%v)", beta, betaFrame)
+	}
+}
+
+func TestStartsAtLowestRate(t *testing.T) {
+	s := New(DefaultConfig())
+	if s.CurrentRate().Mbps != 6 {
+		t.Fatalf("start rate %v, want 6 Mbps", s.CurrentRate())
+	}
+}
+
+func TestRateHoldsInsideOptimalBand(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 3
+	alpha, beta := s.Thresholds(3)
+	mid := math.Sqrt(alpha * beta)
+	s.OnFeedback(Feedback{RateIndex: 3, BER: mid})
+	if s.CurrentIndex() != 3 {
+		t.Fatalf("rate moved to %d on in-band BER", s.CurrentIndex())
+	}
+}
+
+func TestRateStepsUpOnLowBER(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 2
+	alpha, _ := s.Thresholds(2)
+	s.OnFeedback(Feedback{RateIndex: 2, BER: alpha / 2})
+	if s.CurrentIndex() != 3 {
+		t.Fatalf("index %d after slightly-low BER, want 3", s.CurrentIndex())
+	}
+}
+
+func TestRateJumpsTwoUpOnVeryLowBER(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 2
+	_, beta := s.Thresholds(2)
+	// BER below beta/UpMargin^2 justifies a two-level jump (e.g. 1e-9
+	// against an 1e-5 threshold, the paper's example).
+	s.OnFeedback(Feedback{RateIndex: 2, BER: beta / (100 * 100 * 10)})
+	if s.CurrentIndex() != 4 {
+		t.Fatalf("index %d after very low BER, want 4", s.CurrentIndex())
+	}
+}
+
+func TestRateStepsDownOnHighBER(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 3
+	_, beta := s.Thresholds(3)
+	s.OnFeedback(Feedback{RateIndex: 3, BER: beta * 5})
+	if s.CurrentIndex() != 2 {
+		t.Fatalf("index %d after high BER, want 2", s.CurrentIndex())
+	}
+}
+
+func TestRateJumpsTwoDownOnVeryHighBER(t *testing.T) {
+	// The paper's example: threshold 1e-5, observed BER above 1e-2 ⇒ jump
+	// two rates down.
+	cfg := DefaultConfig()
+	cfg.FrameBits = 10000
+	s := New(cfg)
+	s.cur = 3
+	s.OnFeedback(Feedback{RateIndex: 3, BER: 0.05})
+	if s.CurrentIndex() != 1 {
+		t.Fatalf("index %d after BER 0.05, want 1", s.CurrentIndex())
+	}
+}
+
+func TestJumpsClampAtTableEdges(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 0
+	s.OnFeedback(Feedback{RateIndex: 0, BER: 0.4})
+	if s.CurrentIndex() != 0 {
+		t.Fatal("fell below the lowest rate")
+	}
+	s.cur = len(s.cfg.Rates) - 1
+	s.OnFeedback(Feedback{RateIndex: s.cur, BER: 0})
+	if s.CurrentIndex() != len(s.cfg.Rates)-1 {
+		t.Fatal("climbed past the highest rate")
+	}
+}
+
+func TestMaxJumpBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxJump = 1
+	s := New(cfg)
+	s.cur = 4
+	s.OnFeedback(Feedback{RateIndex: 4, BER: 0.4})
+	if s.CurrentIndex() != 3 {
+		t.Fatalf("MaxJump=1 moved %d levels", 4-s.CurrentIndex())
+	}
+}
+
+func TestSilentLossRule(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 4
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 4 {
+		t.Fatal("rate dropped before the third silent loss")
+	}
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 3 {
+		t.Fatalf("rate %d after 3 silent losses, want 3", s.CurrentIndex())
+	}
+	// The run counter must reset after the drop.
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 3 {
+		t.Fatal("counter did not reset after stepping down")
+	}
+}
+
+func TestFeedbackResetsSilentRun(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 4
+	alpha, beta := s.Thresholds(4)
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	s.OnFeedback(Feedback{RateIndex: 4, BER: math.Sqrt(alpha * beta)})
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 4 {
+		t.Fatal("silent-loss run not reset by feedback")
+	}
+}
+
+func TestPostambleFeedbackKeepsRate(t *testing.T) {
+	// Postamble-only receptions indicate collisions; the rate must hold
+	// and the silent-run counter reset.
+	s := New(DefaultConfig())
+	s.cur = 4
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	s.OnPostambleFeedback()
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 4 {
+		t.Fatal("postamble feedback did not reset the silent-loss run")
+	}
+}
+
+func TestCollisionFeedbackUsesInterferenceFreeBER(t *testing.T) {
+	// A collision-flagged feedback carrying a clean interference-free BER
+	// must not lower the rate — this is the core robustness property
+	// versus frame-level schemes (§6.4).
+	s := New(DefaultConfig())
+	s.cur = 4
+	alpha, beta := s.Thresholds(4)
+	for i := 0; i < 20; i++ {
+		s.OnFeedback(Feedback{RateIndex: 4, BER: math.Sqrt(alpha * beta), Collision: true})
+	}
+	if s.CurrentIndex() != 4 {
+		t.Fatalf("rate fell to %d under pure collision losses", s.CurrentIndex())
+	}
+}
+
+func TestFeedbackForStaleRateAdjustsRelativeToIt(t *testing.T) {
+	// Feedback is interpreted relative to the rate the frame was actually
+	// sent at, not the sender's current rate.
+	s := New(DefaultConfig())
+	s.cur = 5
+	_, beta2 := s.Thresholds(2)
+	s.OnFeedback(Feedback{RateIndex: 2, BER: beta2 * 2}) // rate 2 too fast
+	if s.CurrentIndex() != 1 {
+		t.Fatalf("index %d, want 1 (one below the frame's rate)", s.CurrentIndex())
+	}
+}
+
+func TestConvergenceFromConstantChannelBER(t *testing.T) {
+	// Simulate a channel with a fixed BER-vs-rate profile obeying the
+	// factor-10 heuristic; from any start, the algorithm must converge to
+	// the optimal rate and stay there.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(DefaultConfig())
+		// Channel: BER at rate i = base * 10^i with random base.
+		base := math.Pow(10, -12+6*rng.Float64()) // 1e-12 .. 1e-6
+		berAt := func(i int) float64 {
+			b := base * math.Pow(10, float64(i)*1.5)
+			if b > 0.5 {
+				b = 0.5
+			}
+			return b
+		}
+		// Optimal rate: the highest one whose BER is below its beta.
+		opt := 0
+		for i := range s.cfg.Rates {
+			if berAt(i) < s.beta[i] {
+				opt = i
+			}
+		}
+		s.cur = rng.Intn(len(s.cfg.Rates))
+		for step := 0; step < 20; step++ {
+			s.OnFeedback(Feedback{RateIndex: s.cur, BER: berAt(s.cur)})
+		}
+		// Must sit at opt or at most one step below (alpha margins are
+		// deliberately conservative).
+		return s.CurrentIndex() == opt || s.CurrentIndex() == opt-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictBER(t *testing.T) {
+	if got := PredictBER(1e-6, 2, 4); math.Abs(got-1e-4) > 1e-18 {
+		t.Fatalf("PredictBER up 2 = %v, want 1e-4", got)
+	}
+	if got := PredictBER(1e-4, 3, 1); math.Abs(got-1e-6) > 1e-18 {
+		t.Fatalf("PredictBER down 2 = %v, want 1e-6", got)
+	}
+	if got := PredictBER(0.1, 0, 5); got != 0.5 {
+		t.Fatalf("PredictBER must cap at 0.5, got %v", got)
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	s := New(Config{})
+	if len(s.cfg.Rates) != len(rate.Evaluation()) {
+		t.Fatal("default rates not applied")
+	}
+	if s.cfg.MaxJump != 2 || s.cfg.SilentLossRun != 3 {
+		t.Fatal("default jump/silent-loss parameters not applied")
+	}
+	if s.cfg.UpMargin != 100 || s.cfg.DownMargin != 1000 {
+		t.Fatal("default margins not applied")
+	}
+}
+
+func TestThresholdsMonotoneAcrossFrameSize(t *testing.T) {
+	// Bigger frames are more fragile: beta must decrease with frame size.
+	small := New(Config{FrameBits: 1000})
+	big := New(Config{FrameBits: 100000})
+	_, bs := small.Thresholds(3)
+	_, bb := big.Thresholds(3)
+	if bb >= bs {
+		t.Fatalf("beta(100k bits)=%v not below beta(1k bits)=%v", bb, bs)
+	}
+}

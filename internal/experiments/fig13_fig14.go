@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"softrate/internal/channel"
+	"softrate/internal/core"
+	"softrate/internal/netsim"
+	"softrate/internal/ratectl"
+	"softrate/internal/trace"
+)
+
+func init() {
+	register("fig13", runFig13)
+	register("fig14", runFig14)
+}
+
+// walkingLinkTraces generates n forward and n reverse walking-mobility
+// traces (Table 4, "Walking": sender moving away from the receiver at
+// walking speed), all of duration dur.
+func walkingLinkTraces(n int, dur float64, seed int64) (fwd, rev []*trace.LinkTrace) {
+	mk := func(s int64) *trace.LinkTrace {
+		rng := rand.New(rand.NewSource(s))
+		model := channel.NewWalkingModel(rng,
+			channel.LinearTrajectory{StartDist: 2, Speed: 1.2},
+			channel.PathLoss{RefSNRdB: 26, RefDist: 1, Exponent: 2.2})
+		return trace.Generate(trace.GenConfig{Model: model, Duration: dur, Seed: s + 500})
+	}
+	for i := 0; i < n; i++ {
+		fwd = append(fwd, mk(seed+int64(2*i)))
+		rev = append(rev, mk(seed+int64(2*i+1)))
+	}
+	return fwd, rev
+}
+
+// algorithmFactories returns the §6.1 algorithm set, keyed by display
+// name, in the paper's legend order. Each factory builds a fresh adapter
+// per link; training-based algorithms train on the link's own trace (the
+// paper computes SNR-BER relationships "from the traces used for
+// evaluation").
+func algorithmFactories() []struct {
+	name    string
+	factory netsim.AdapterFactory
+} {
+	lossless := losslessAirtimes()
+	return []struct {
+		name    string
+		factory netsim.AdapterFactory
+	}{
+		{"Omniscient", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return &ratectl.Omniscient{Oracle: fwd.BestRateAt}
+		}},
+		{"SoftRate", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return ratectl.NewSoftRate(core.DefaultConfig())
+		}},
+		{"SNR (trained)", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
+			return ratectl.NewSNRBased(th, "SNR (trained)")
+		}},
+		{"CHARM", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
+			return ratectl.NewCHARM(th)
+		}},
+		{"RRAA", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return ratectl.NewRRAA(rateSet(), lossless, true)
+		}},
+		{"SampleRate", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+			return ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63())))
+		}},
+	}
+}
+
+// runFig13 reproduces Figure 13: aggregate TCP throughput versus number of
+// clients over slow-fading walking channels, for all six algorithms.
+func runFig13(o Options) []*Table {
+	dur := 10 * o.Scale
+	if dur < 2 {
+		dur = 2
+	}
+	maxN := 5
+	// Average over independent trace sets (the paper's ten walking runs
+	// play the same variance-damping role).
+	const reps = 3
+	var fwd, rev [][]*trace.LinkTrace
+	for r := 0; r < reps; r++ {
+		f, b := walkingLinkTraces(maxN, dur, o.Seed+int64(1000*r))
+		fwd = append(fwd, f)
+		rev = append(rev, b)
+	}
+
+	out := &Table{
+		ID:     "fig13",
+		Title:  "Aggregate TCP throughput (Mbps) vs number of clients, slow-fading mobile channel",
+		Header: []string{"algorithm", "N=1", "N=2", "N=3", "N=4", "N=5"},
+	}
+	results := map[string][]float64{}
+	for _, alg := range algorithmFactories() {
+		row := []string{alg.name}
+		for n := 1; n <= maxN; n++ {
+			var sum float64
+			for r := 0; r < reps; r++ {
+				cfg := netsim.DefaultConfig()
+				cfg.Duration = dur
+				cfg.Seed = o.Seed + int64(n+10*r)
+				res := netsim.RunUplink(cfg, fwd[r][:n], rev[r][:n], alg.factory)
+				sum += res.AggregateBps
+			}
+			meanBps := sum / reps
+			row = append(row, fmtMbps(meanBps))
+			results[alg.name] = append(results[alg.name], meanBps)
+		}
+		out.AddRow(row...)
+	}
+
+	// Shape checks from §6.2.
+	soft := mean(results["SoftRate"])
+	out.AddNote("SoftRate/omniscient ratio (mean over N): %.2f (paper: SoftRate comes closest to omniscient)",
+		soft/mean(results["Omniscient"]))
+	out.AddNote("SoftRate/SNR-trained: %.2fx (paper: up to ~1.2x)", soft/mean(results["SNR (trained)"]))
+	out.AddNote("SoftRate/RRAA: %.2fx (paper: up to ~2x)", soft/mean(results["RRAA"]))
+	out.AddNote("SoftRate/SampleRate: %.2fx (paper: up to ~4x)", soft/mean(results["SampleRate"]))
+	return []*Table{out}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// runFig14 reproduces Figure 14: rate-selection accuracy with one TCP flow
+// in the mobile slow-fading channel — the fraction of frames sent above,
+// at, and below the highest bit rate that would have succeeded.
+func runFig14(o Options) []*Table {
+	dur := 10 * o.Scale
+	if dur < 2 {
+		dur = 2
+	}
+	fwd, rev := walkingLinkTraces(1, dur, o.Seed+9000)
+	out := &Table{
+		ID:     "fig14",
+		Title:  "Rate selection accuracy, one TCP flow, slow-fading mobile channel",
+		Header: []string{"algorithm", "underselect", "accurate", "overselect"},
+	}
+	type acc struct{ under, ok, over float64 }
+	accs := map[string]acc{}
+	for _, alg := range algorithmFactories() {
+		if alg.name == "Omniscient" {
+			continue // trivially accurate
+		}
+		cfg := netsim.DefaultConfig()
+		cfg.Duration = dur
+		cfg.Seed = o.Seed + 17
+		cfg.RecordTx = true
+		res := netsim.RunUplink(cfg, fwd, rev, alg.factory)
+		var under, ok, over int
+		for _, r := range res.ClientStats[0].Records {
+			switch {
+			case r.RateIndex < r.OracleIndex:
+				under++
+			case r.RateIndex == r.OracleIndex:
+				ok++
+			default:
+				over++
+			}
+		}
+		total := float64(under + ok + over)
+		if total == 0 {
+			continue
+		}
+		a := acc{float64(under) / total, float64(ok) / total, float64(over) / total}
+		accs[alg.name] = a
+		out.AddRow(alg.name, fmtPct(a.under), fmtPct(a.ok), fmtPct(a.over))
+	}
+	if a, found := accs["SoftRate"]; found {
+		out.AddNote("SoftRate accurate fraction: %s (paper: over 80%%)", fmtPct(a.ok))
+	}
+	return []*Table{out}
+}

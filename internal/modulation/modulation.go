@@ -1,0 +1,288 @@
+// Package modulation implements the Gray-mapped linear modulations of
+// 802.11a/g — BPSK, QPSK, 16-QAM and 64-QAM — together with soft demappers
+// that produce per-coded-bit channel log-likelihood ratios.
+//
+// All constellations are normalized to unit average symbol energy so that
+// SNR is E_s/N_0 directly. The demappers take the received sample, the
+// (complex) channel gain and the total complex noise variance, and emit one
+// LLR per coded bit with the convention LLR > 0 ⇔ bit 1.
+package modulation
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Scheme identifies a modulation.
+type Scheme int
+
+// The supported modulation schemes.
+const (
+	BPSK Scheme = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "QAM16"
+	case QAM64:
+		return "QAM64"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// BitsPerSymbol returns the number of coded bits carried per constellation
+// symbol.
+func (s Scheme) BitsPerSymbol() int {
+	switch s {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	panic("modulation: unknown scheme")
+}
+
+// bitsPerAxis is BitsPerSymbol/2 for QAM schemes; BPSK uses only the real
+// axis.
+func (s Scheme) bitsPerAxis() int {
+	if s == BPSK {
+		return 1
+	}
+	return s.BitsPerSymbol() / 2
+}
+
+// axisLevels returns the per-axis amplitude for each Gray-coded bit group,
+// indexed by the bit group value, already normalized to unit average
+// symbol energy. grayLevels[g] is the amplitude transmitted for per-axis
+// bits g (MSB first).
+func (s Scheme) axisLevels() []float64 {
+	switch s {
+	case BPSK:
+		return []float64{-1, 1} // 0 -> -1, 1 -> +1
+	case QPSK:
+		a := 1 / math.Sqrt2
+		return []float64{-a, a}
+	case QAM16:
+		// Gray per axis: 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+		a := 1 / math.Sqrt(10)
+		return []float64{-3 * a, -1 * a, 3 * a, 1 * a}
+	case QAM64:
+		// Gray per axis: 000→-7 001→-5 011→-3 010→-1 110→+1 111→+3
+		// 101→+5 100→+7.
+		a := 1 / math.Sqrt(42)
+		lv := make([]float64, 8)
+		lv[0b000] = -7 * a
+		lv[0b001] = -5 * a
+		lv[0b011] = -3 * a
+		lv[0b010] = -1 * a
+		lv[0b110] = 1 * a
+		lv[0b111] = 3 * a
+		lv[0b101] = 5 * a
+		lv[0b100] = 7 * a
+		return lv
+	}
+	panic("modulation: unknown scheme")
+}
+
+// Modulate maps coded bits onto constellation symbols. If len(bits) is not
+// a multiple of BitsPerSymbol the tail is zero-padded (the PHY pads frames
+// to whole OFDM symbols before calling this).
+func Modulate(s Scheme, bits []byte) []complex128 {
+	bps := s.BitsPerSymbol()
+	nSym := (len(bits) + bps - 1) / bps
+	levels := s.axisLevels()
+	bpa := s.bitsPerAxis()
+	out := make([]complex128, nSym)
+	bit := func(i int) int {
+		if i < len(bits) && bits[i] != 0 {
+			return 1
+		}
+		return 0
+	}
+	for k := 0; k < nSym; k++ {
+		base := k * bps
+		gi := 0
+		for j := 0; j < bpa; j++ {
+			gi = gi<<1 | bit(base+j)
+		}
+		if s == BPSK {
+			out[k] = complex(levels[gi], 0)
+			continue
+		}
+		gq := 0
+		for j := 0; j < bpa; j++ {
+			gq = gq<<1 | bit(base+bpa+j)
+		}
+		out[k] = complex(levels[gi], levels[gq])
+	}
+	return out
+}
+
+// HardDemap maps a received (already equalized) symbol to the nearest
+// constellation point's bits, for hard-decision baselines and tests.
+func HardDemap(s Scheme, z complex128) []byte {
+	levels := s.axisLevels()
+	bpa := s.bitsPerAxis()
+	nearest := func(v float64) int {
+		best, bd := 0, math.Inf(1)
+		for g, lv := range levels {
+			d := math.Abs(v - lv)
+			if d < bd {
+				bd, best = d, g
+			}
+		}
+		return best
+	}
+	bits := make([]byte, 0, s.BitsPerSymbol())
+	appendGray := func(g int) {
+		for j := bpa - 1; j >= 0; j-- {
+			bits = append(bits, byte(g>>j&1))
+		}
+	}
+	appendGray(nearest(real(z)))
+	if s != BPSK {
+		appendGray(nearest(imag(z)))
+	}
+	return bits
+}
+
+// Demap computes soft LLRs for the coded bits carried by received sample y
+// given channel gain h and total complex noise variance noiseVar. LLRs are
+// appended to out and the extended slice returned. If exact is true the
+// full log-sum-exp marginalization over the constellation is used;
+// otherwise the max-log approximation.
+//
+// The demapper equalizes z = y/h and scales the noise accordingly, which is
+// exact for a flat per-symbol gain; the I and Q axes then demap
+// independently.
+func Demap(s Scheme, y, h complex128, noiseVar float64, exact bool, out []float64) []float64 {
+	hm2 := real(h)*real(h) + imag(h)*imag(h)
+	if hm2 < 1e-18 {
+		// Channel gain effectively zero: no information in this sample.
+		for i := 0; i < s.BitsPerSymbol(); i++ {
+			out = append(out, 0)
+		}
+		return out
+	}
+	z := y / h
+	sigma2 := noiseVar / hm2
+	levels := s.axisLevels()
+	bpa := s.bitsPerAxis()
+	out = demapAxis(real(z), levels, bpa, sigma2, exact, out)
+	if s != BPSK {
+		out = demapAxis(imag(z), levels, bpa, sigma2, exact, out)
+	}
+	return out
+}
+
+// demapAxis computes LLRs for the bpa Gray bits of one constellation axis.
+// For a complex Gaussian with total variance sigma2 the per-axis exponent
+// is -(v - level)^2 / sigma2.
+func demapAxis(v float64, levels []float64, bpa int, sigma2 float64, exact bool, out []float64) []float64 {
+	inv := 1 / sigma2
+	for j := 0; j < bpa; j++ {
+		mask := 1 << (bpa - 1 - j)
+		var m1, m0 float64 // log-domain accumulators
+		first1, first0 := true, true
+		for g, lv := range levels {
+			d := v - lv
+			metric := -d * d * inv
+			if g&mask != 0 {
+				if first1 {
+					m1, first1 = metric, false
+				} else if exact {
+					m1 = logAdd(m1, metric)
+				} else if metric > m1 {
+					m1 = metric
+				}
+			} else {
+				if first0 {
+					m0, first0 = metric, false
+				} else if exact {
+					m0 = logAdd(m0, metric)
+				} else if metric > m0 {
+					m0 = metric
+				}
+			}
+		}
+		out = append(out, m1-m0)
+	}
+	return out
+}
+
+// logAdd returns log(exp(a)+exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	d := a - b
+	if d > 30 {
+		return a
+	}
+	return a + math.Log1p(math.Exp(-d))
+}
+
+// SymbolEnergy returns the average energy of the constellation (should be
+// 1.0 by construction; exposed for tests and sanity checks).
+func SymbolEnergy(s Scheme) float64 {
+	levels := s.axisLevels()
+	var e float64
+	for _, li := range levels {
+		if s == BPSK {
+			e += li * li
+		} else {
+			for _, lq := range levels {
+				e += li*li + lq*lq
+			}
+		}
+	}
+	if s == BPSK {
+		return e / float64(len(levels))
+	}
+	return e / float64(len(levels)*len(levels))
+}
+
+// MinDistance returns the minimum Euclidean distance between distinct
+// constellation points, which orders the schemes by noise robustness.
+func MinDistance(s Scheme) float64 {
+	pts := constellation(s)
+	min := math.Inf(1)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := cmplx.Abs(pts[i] - pts[j])
+			if d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// constellation enumerates all points of the scheme.
+func constellation(s Scheme) []complex128 {
+	bps := s.BitsPerSymbol()
+	n := 1 << bps
+	pts := make([]complex128, 0, n)
+	for v := 0; v < n; v++ {
+		bits := make([]byte, bps)
+		for j := 0; j < bps; j++ {
+			bits[j] = byte(v >> (bps - 1 - j) & 1)
+		}
+		pts = append(pts, Modulate(s, bits)[0])
+	}
+	return pts
+}

@@ -1,0 +1,76 @@
+package ofdm
+
+// The 802.11a block interleaver. Within each OFDM symbol, coded bits are
+// permuted in two steps so that (a) adjacent coded bits land on
+// non-adjacent subcarriers and (b) they alternate between more and less
+// significant constellation bit positions. Property (a) is what makes a
+// collision distinguishable from frequency-selective fading: fading takes
+// out clusters of adjacent subcarriers while a collision degrades the whole
+// symbol (§4, "Interference detector").
+
+// Permutation returns the interleaver mapping for one OFDM symbol carrying
+// ncbps coded bits at nbpsc coded bits per subcarrier: output position
+// perm[k] holds input bit k. ncbps must be a multiple of 16 (all modes in
+// this repository satisfy this).
+func Permutation(ncbps, nbpsc int) []int {
+	if ncbps%16 != 0 {
+		panic("ofdm: N_CBPS must be a multiple of 16")
+	}
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int, ncbps)
+	for k := 0; k < ncbps; k++ {
+		// First permutation: write row-wise, read column-wise over 16
+		// columns.
+		i := (ncbps/16)*(k%16) + k/16
+		// Second permutation: rotate bits within groups of s so that
+		// coded bits alternate significance.
+		j := s*(i/s) + (i+ncbps-16*i/ncbps)%s
+		perm[k] = j
+	}
+	return perm
+}
+
+// Inverse returns the inverse of a permutation.
+func Inverse(perm []int) []int {
+	inv := make([]int, len(perm))
+	for k, v := range perm {
+		inv[v] = k
+	}
+	return inv
+}
+
+// InterleaveBits permutes the coded bits of a whole frame symbol-by-symbol
+// using perm (from Permutation). len(bits) must be a multiple of
+// len(perm); the PHY pads frames to whole OFDM symbols first.
+func InterleaveBits(bits []byte, perm []int) []byte {
+	n := len(perm)
+	if len(bits)%n != 0 {
+		panic("ofdm: frame not padded to whole symbols")
+	}
+	out := make([]byte, len(bits))
+	for base := 0; base < len(bits); base += n {
+		for k, v := range perm {
+			out[base+v] = bits[base+k]
+		}
+	}
+	return out
+}
+
+// DeinterleaveLLRs inverts the interleaving on per-coded-bit LLRs,
+// restoring decoder order.
+func DeinterleaveLLRs(llrs []float64, perm []int) []float64 {
+	n := len(perm)
+	if len(llrs)%n != 0 {
+		panic("ofdm: LLR stream not a whole number of symbols")
+	}
+	out := make([]float64, len(llrs))
+	for base := 0; base < len(llrs); base += n {
+		for k, v := range perm {
+			out[base+k] = llrs[base+v]
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+
+	"softrate/internal/channel"
+	"softrate/internal/rate"
+	"softrate/internal/softphy"
+)
+
+// BERModel is an empirical characterization of this PHY: for each rate and
+// each SNR grid point it records the post-decoder bit error rate (measured
+// via SoftPHY hints, so it is meaningful even deep below one error per
+// frame) and the frame error-event rate λ (errors per information bit,
+// from measured frame error rates, so P(deliver an N-bit frame) = e^{-λN}).
+//
+// It plays the role the authors' software-radio packet traces play in
+// their ns-3 evaluation (§6.1): a faithful statistical summary of the real
+// PHY that the network simulator can query cheaply. It is produced by
+// Calibrate — Monte Carlo over the actual encode/channel/BCJR chain — and
+// a pre-generated copy (DefaultBERModel) is embedded so simulations start
+// instantly; `go run ./cmd/calibrate` regenerates it.
+type BERModel struct {
+	// SNRdB is the calibration grid (ascending).
+	SNRdB []float64
+	// BER[rateIdx][k] is the mean post-decode BER at SNRdB[k].
+	BER [][]float64
+	// Lambda[rateIdx][k] is the error-event rate per info bit at
+	// SNRdB[k]; 0 means no frame errors were observed.
+	Lambda [][]float64
+}
+
+// CalibrationConfig controls Calibrate.
+type CalibrationConfig struct {
+	// PHY is the PHY configuration to characterize.
+	PHY Config
+	// Rates to calibrate (index order defines BERModel rows).
+	Rates []rate.Rate
+	// SNRdB grid points.
+	SNRdB []float64
+	// FramesPerPoint is the Monte Carlo depth (default 8).
+	FramesPerPoint int
+	// PayloadBytes is the probe frame size (default 250).
+	PayloadBytes int
+	// Seed makes the calibration reproducible.
+	Seed int64
+}
+
+// DefaultCalibrationGrid returns the standard grid: -2..30 dB in 1 dB
+// steps.
+func DefaultCalibrationGrid() []float64 {
+	var g []float64
+	for s := -2.0; s <= 30.0; s++ {
+		g = append(g, s)
+	}
+	return g
+}
+
+// Calibrate measures the PHY by Monte Carlo: constant-SNR AWGN channel,
+// real encode/decode chain, hint-based BER estimation.
+func Calibrate(cc CalibrationConfig) *BERModel {
+	if cc.FramesPerPoint <= 0 {
+		cc.FramesPerPoint = 8
+	}
+	if cc.PayloadBytes <= 0 {
+		cc.PayloadBytes = 250
+	}
+	if len(cc.SNRdB) == 0 {
+		cc.SNRdB = DefaultCalibrationGrid()
+	}
+	if len(cc.Rates) == 0 {
+		cc.Rates = rate.Evaluation()
+	}
+	rng := rand.New(rand.NewSource(cc.Seed))
+	m := &BERModel{SNRdB: append([]float64{}, cc.SNRdB...)}
+	for _, r := range cc.Rates {
+		bers := make([]float64, len(cc.SNRdB))
+		lambdas := make([]float64, len(cc.SNRdB))
+		for k, snr := range cc.SNRdB {
+			link := &Link{
+				Cfg:   cc.PHY,
+				Model: channel.NewStaticModel(snr, nil),
+				Rng:   rng,
+			}
+			var hintBERSum float64
+			frameErrs := 0
+			var nBits int
+			for i := 0; i < cc.FramesPerPoint; i++ {
+				payload := make([]byte, cc.PayloadBytes)
+				rng.Read(payload)
+				tx := Transmit(cc.PHY, Frame{Header: []byte{1, 2, 3, 4}, Payload: payload, Rate: r})
+				rx := link.Deliver(tx, float64(i), nil)
+				nBits = len(tx.InfoBits())
+				if !rx.Detected || rx.BitErrors > 0 {
+					frameErrs++
+				}
+				if rx.Detected {
+					hintBERSum += math.Log(math.Max(softphy.FrameBER(rx.Hints), 1e-12))
+				} else {
+					hintBERSum += math.Log(0.4)
+				}
+			}
+			bers[k] = math.Exp(hintBERSum / float64(cc.FramesPerPoint))
+			fer := float64(frameErrs) / float64(cc.FramesPerPoint)
+			if fer >= 1 {
+				fer = 1 - 1e-9
+			}
+			if fer > 0 {
+				lambdas[k] = -math.Log(1-fer) / float64(nBits)
+			}
+		}
+		m.BER = append(m.BER, bers)
+		m.Lambda = append(m.Lambda, lambdas)
+	}
+	return m
+}
+
+// BERAt returns the interpolated post-decode BER for rate index ri at the
+// given instantaneous SNR. Interpolation is log-linear in BER over the dB
+// axis; beyond the grid it clamps to 0.5 below and extrapolates the final
+// slope above (floored at 1e-12).
+func (m *BERModel) BERAt(ri int, snrDB float64) float64 {
+	return m.interp(m.BER[ri], snrDB, 0.5, 1e-12)
+}
+
+// LambdaAt returns the interpolated error-event rate per info bit.
+func (m *BERModel) LambdaAt(ri int, snrDB float64) float64 {
+	return m.interp(m.Lambda[ri], snrDB, 1e-2, 0)
+}
+
+// interp interpolates log(v) linearly over the dB grid. Zeros in v are
+// treated as the floor value; results at or below the floor return floor.
+func (m *BERModel) interp(v []float64, snrDB, ceil, floor float64) float64 {
+	g := m.SNRdB
+	logv := func(i int) float64 {
+		x := v[i]
+		if x <= floor || x == 0 {
+			if floor == 0 {
+				return math.Inf(-1)
+			}
+			x = floor
+		}
+		return math.Log(x)
+	}
+	switch {
+	case snrDB <= g[0]:
+		return ceil
+	case snrDB >= g[len(g)-1]:
+		// Extrapolate with the slope of the last decade of grid.
+		n := len(g)
+		a, b := logv(n-6), logv(n-1)
+		if math.IsInf(a, -1) || math.IsInf(b, -1) {
+			return floor
+		}
+		slope := (b - a) / (g[n-1] - g[n-6])
+		x := b + slope*(snrDB-g[n-1])
+		val := math.Exp(x)
+		if val < floor {
+			return floor
+		}
+		if val > ceil {
+			return ceil
+		}
+		return val
+	}
+	// Binary-search-free scan (grids are small).
+	k := 0
+	for k+1 < len(g) && g[k+1] < snrDB {
+		k++
+	}
+	a, b := logv(k), logv(k+1)
+	if math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return floor
+	}
+	if math.IsInf(b, -1) {
+		b = math.Log(math.Max(floor, 1e-15))
+	}
+	if math.IsInf(a, -1) {
+		a = math.Log(math.Max(floor, 1e-15))
+	}
+	f := (snrDB - g[k]) / (g[k+1] - g[k])
+	val := math.Exp(a + f*(b-a))
+	if val > ceil {
+		return ceil
+	}
+	if val < floor {
+		return floor
+	}
+	return val
+}
+
+// DeliverProb returns the probability that a frame of nInfoBits at rate ri
+// survives a sequence of per-symbol SNRs, each symbol carrying bitsPerSym
+// info bits: P = exp(-Σ λ(snr_j)·bits_j).
+func (m *BERModel) DeliverProb(ri int, snrsDB []float64, bitsPerSym float64) float64 {
+	var lam float64
+	for _, s := range snrsDB {
+		lam += m.LambdaAt(ri, s) * bitsPerSym
+	}
+	return math.Exp(-lam)
+}
+
+// MeanBER returns the mean post-decode BER over a sequence of per-symbol
+// SNRs at rate ri.
+func (m *BERModel) MeanBER(ri int, snrsDB []float64) float64 {
+	if len(snrsDB) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range snrsDB {
+		sum += m.BERAt(ri, s)
+	}
+	return sum / float64(len(snrsDB))
+}

@@ -1,0 +1,157 @@
+// Package phy implements the 802.11a/g-like OFDM physical layer of the
+// paper's prototype (§4) in simulation: a transmitter that convolutionally
+// encodes, punctures, interleaves and modulates frames onto OFDM symbols,
+// and a receiver that demaps soft LLRs, deinterleaves, runs the soft-output
+// BCJR decoder and exports per-bit SoftPHY hints, a preamble-based SNR
+// estimate (the Schmidl-Cox substitute) and CRC verdicts.
+//
+// The chain operates at subcarrier granularity in the frequency domain; the
+// channel applies a flat complex gain per OFDM symbol (plus unit-variance
+// receiver noise and optional interference power), which is the regime the
+// paper's per-symbol interference detector (§4) is designed for.
+package phy
+
+import (
+	"softrate/internal/bitutil"
+	"softrate/internal/coding"
+	"softrate/internal/modulation"
+	"softrate/internal/ofdm"
+	"softrate/internal/rate"
+)
+
+// Config collects the PHY parameters shared by transmitter and receiver.
+type Config struct {
+	// Mode is the OFDM operating mode (Table 3).
+	Mode ofdm.Mode
+	// Decoder selects exact log-MAP (reference) or max-log BCJR.
+	Decoder coding.BCJRMode
+	// ExactDemap selects the full log-sum-exp soft demapper; false uses
+	// max-log.
+	ExactDemap bool
+	// DetectSINR is the linear preamble/postamble SINR above which the
+	// receiver synchronizes with a frame. The default corresponds to
+	// roughly -1 dB, below which even BPSK 1/2 is hopeless.
+	DetectSINR float64
+}
+
+// DefaultConfig returns the configuration used by the experiments:
+// simulation mode (20 MHz, 128 tones), exact log-MAP decoding.
+func DefaultConfig() Config {
+	return Config{
+		Mode:       ofdm.Simulation,
+		Decoder:    coding.LogMAP,
+		ExactDemap: true,
+		DetectSINR: 0.8,
+	}
+}
+
+// Frame is a link-layer frame handed to the PHY for transmission.
+type Frame struct {
+	// Header carries link-layer addressing and control; it is protected
+	// by its own CRC-16 and always travels at the lowest rate so that
+	// feedback can identify sender and receiver even when the body is
+	// errored (§3).
+	Header []byte
+	// Payload is the frame body; a CRC-32 FCS is appended by the PHY.
+	Payload []byte
+	// Rate is the modulation/coding combination for the body.
+	Rate rate.Rate
+	// Postamble appends a trailing sync pattern enabling detection of
+	// frames whose preamble was destroyed by interference (§3.2).
+	Postamble bool
+}
+
+// Transmission is a frame encoded onto OFDM symbols, ready to traverse a
+// channel. It also retains the ground-truth coded/info bits so experiments
+// can measure true BER — information a real receiver does not have.
+type Transmission struct {
+	Cfg   Config
+	Frame Frame
+
+	// hdrInfoBits are the padded header information bits (incl. CRC-16).
+	hdrInfoBits []byte
+	// infoBits are the padded payload information bits (incl. CRC-32).
+	infoBits []byte
+	// hdrSyms and dataSyms are the modulated OFDM data-tone vectors.
+	hdrSyms  [][]complex128
+	dataSyms [][]complex128
+}
+
+// headerRate returns the rate used for the header: the most robust one.
+func headerRate() rate.Rate { return rate.Lowest() }
+
+// padToSymbols pads info bits with zeros so that, after the 6 tail bits and
+// puncturing at r's code rate, the coded stream fills a whole number of
+// OFDM symbols exactly (the 802.11 padding rule).
+func padToSymbols(info []byte, m ofdm.Mode, r rate.Rate) []byte {
+	ndbps := m.InfoBitsPerSymbol(r)
+	n := len(info) + coding.TailBits
+	nSym := (n + ndbps - 1) / ndbps
+	padded := make([]byte, nSym*ndbps-coding.TailBits)
+	copy(padded, info)
+	return padded
+}
+
+// encodeSegment runs info bits through the full TX pipeline at rate r:
+// convolutional encoding, puncturing, per-symbol interleaving, modulation.
+func encodeSegment(cfg Config, info []byte, r rate.Rate) [][]complex128 {
+	coded := coding.Puncture(coding.Encode(info), r.Code)
+	ncbps := cfg.Mode.CodedBitsPerSymbol(r.Scheme)
+	perm := ofdm.Permutation(ncbps, r.Scheme.BitsPerSymbol())
+	inter := ofdm.InterleaveBits(coded, perm)
+	nSym := len(inter) / ncbps
+	syms := make([][]complex128, nSym)
+	for j := 0; j < nSym; j++ {
+		syms[j] = modulation.Modulate(r.Scheme, inter[j*ncbps:(j+1)*ncbps])
+	}
+	return syms
+}
+
+// Transmit encodes a frame for the air. The header is sent at the lowest
+// rate with a CRC-16; the payload at f.Rate with a CRC-32.
+func Transmit(cfg Config, f Frame) *Transmission {
+	hr := headerRate()
+	hdrCRC := bitutil.CRC16CCITT(f.Header)
+	hdrBytes := append(append([]byte{}, f.Header...), byte(hdrCRC>>8), byte(hdrCRC))
+	hdrInfo := padToSymbols(bitutil.BytesToBits(hdrBytes), cfg.Mode, hr)
+
+	body := bitutil.AppendCRC32(f.Payload)
+	info := padToSymbols(bitutil.BytesToBits(body), cfg.Mode, f.Rate)
+
+	return &Transmission{
+		Cfg:         cfg,
+		Frame:       f,
+		hdrInfoBits: hdrInfo,
+		infoBits:    info,
+		hdrSyms:     encodeSegment(cfg, hdrInfo, hr),
+		dataSyms:    encodeSegment(cfg, info, f.Rate),
+	}
+}
+
+// NumSymbols returns the total OFDM symbols on the air, including preamble,
+// header, data and optional postamble.
+func (t *Transmission) NumSymbols() int {
+	n := ofdm.PreambleSymbols + len(t.hdrSyms) + len(t.dataSyms)
+	if t.Frame.Postamble {
+		n += ofdm.PostambleSymbols
+	}
+	return n
+}
+
+// NumDataSymbols returns the number of payload OFDM symbols.
+func (t *Transmission) NumDataSymbols() int { return len(t.dataSyms) }
+
+// Airtime returns the on-air duration of the transmission.
+func (t *Transmission) Airtime() float64 {
+	return float64(t.NumSymbols()) * t.Cfg.Mode.SymbolTime()
+}
+
+// InfoBits exposes the ground-truth padded payload information bits
+// (including FCS and padding) for true-BER measurement in experiments.
+func (t *Transmission) InfoBits() []byte { return t.infoBits }
+
+// dataSymbolOffset returns the index of the first payload symbol within the
+// whole transmission.
+func (t *Transmission) dataSymbolOffset() int {
+	return ofdm.PreambleSymbols + len(t.hdrSyms)
+}

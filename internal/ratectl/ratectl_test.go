@@ -1,0 +1,344 @@
+package ratectl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"softrate/internal/core"
+	"softrate/internal/ofdm"
+	"softrate/internal/rate"
+)
+
+func lossless1400() []float64 {
+	return ratesAirtime(rate.Evaluation(), func(r rate.Rate) float64 {
+		return ofdm.Simulation.PayloadAirtime(1400, r, false)
+	})
+}
+
+func TestFixed(t *testing.T) {
+	f := &Fixed{Index: 3}
+	if f.NextRate(0) != 3 || f.WantRTS() {
+		t.Fatal("Fixed misbehaves")
+	}
+	if f.Name() != "Fixed" {
+		t.Fatal("name")
+	}
+	f.Label = "Fixed-18"
+	if f.Name() != "Fixed-18" {
+		t.Fatal("label override")
+	}
+	f.OnResult(Result{}) // must be a no-op
+	if f.NextRate(1) != 3 {
+		t.Fatal("Fixed changed rate")
+	}
+}
+
+func TestOmniscient(t *testing.T) {
+	o := &Omniscient{Oracle: func(now float64) int { return int(now) % 5 }}
+	if o.NextRate(3.7) != 3 {
+		t.Fatal("oracle not consulted")
+	}
+	if o.Name() != "Omniscient" || o.WantRTS() {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestSoftRateAdapterRouting(t *testing.T) {
+	a := NewSoftRate(core.DefaultConfig())
+	if a.Name() != "SoftRate" || a.WantRTS() {
+		t.Fatal("metadata wrong")
+	}
+	// Drive up with very low BER feedback.
+	start := a.NextRate(0)
+	a.OnResult(Result{RateIndex: start, FeedbackReceived: true, BER: 1e-12})
+	if a.NextRate(0) <= start {
+		t.Fatal("low-BER feedback did not raise rate")
+	}
+	// Three silent losses step down.
+	cur := a.NextRate(0)
+	for i := 0; i < 3; i++ {
+		a.OnResult(Result{RateIndex: cur, FeedbackReceived: false})
+	}
+	if a.NextRate(0) != cur-1 {
+		t.Fatalf("silent losses moved rate to %d, want %d", a.NextRate(0), cur-1)
+	}
+	// Postamble-only feedback resets the silent counter and holds rate.
+	cur = a.NextRate(0)
+	a.OnResult(Result{RateIndex: cur, FeedbackReceived: true, PostambleOnly: true})
+	if a.NextRate(0) != cur {
+		t.Fatal("postamble-only feedback changed rate")
+	}
+}
+
+func TestSNRBasedMapping(t *testing.T) {
+	th := []float64{0, 5, 10, 15, 20, 25}
+	s := NewSNRBased(th, "SNR (trained)")
+	if s.Name() != "SNR (trained)" {
+		t.Fatal("label")
+	}
+	// Before any feedback: lowest rate.
+	if s.NextRate(0) != 0 {
+		t.Fatal("must start at the lowest rate")
+	}
+	s.OnResult(Result{FeedbackReceived: true, SNRdB: 17})
+	if got := s.NextRate(0); got != 3 {
+		t.Fatalf("SNR 17 dB -> rate %d, want 3", got)
+	}
+	s.OnResult(Result{FeedbackReceived: true, SNRdB: 99})
+	if got := s.NextRate(0); got != 5 {
+		t.Fatalf("SNR 99 dB -> rate %d, want 5 (clamped)", got)
+	}
+}
+
+func TestSNRBasedSilentLossBias(t *testing.T) {
+	th := []float64{0, 5, 10, 15, 20, 25}
+	s := NewSNRBased(th, "")
+	s.OnResult(Result{FeedbackReceived: true, SNRdB: 30})
+	if s.NextRate(0) != 5 {
+		t.Fatal("setup failed")
+	}
+	for i := 0; i < 3; i++ {
+		s.OnResult(Result{FeedbackReceived: false, SNRdB: math.NaN()})
+	}
+	if got := s.NextRate(0); got != 4 {
+		t.Fatalf("after 3 silent losses rate %d, want 4", got)
+	}
+	// Fresh SNR clears the bias.
+	s.OnResult(Result{FeedbackReceived: true, SNRdB: 30})
+	if s.NextRate(0) != 5 {
+		t.Fatal("bias not cleared by fresh SNR")
+	}
+}
+
+func TestCHARMSmoothes(t *testing.T) {
+	th := []float64{0, 5, 10, 15, 20, 25}
+	c := NewCHARM(th)
+	if c.Name() != "CHARM" {
+		t.Fatal("name")
+	}
+	c.OnResult(Result{FeedbackReceived: true, SNRdB: 25})
+	// A single outlier dip must *not* drop the averaged estimate much:
+	// 0.9*25 + 0.1*0 = 22.5 dB, still rate 4.
+	c.OnResult(Result{FeedbackReceived: true, SNRdB: 0})
+	if got := c.NextRate(0); got != 4 {
+		t.Fatalf("CHARM moved to %d on a single outlier, want 4", got)
+	}
+	// The per-frame variant would have crashed to rate 0.
+	s := NewSNRBased(th, "")
+	s.OnResult(Result{FeedbackReceived: true, SNRdB: 25})
+	s.OnResult(Result{FeedbackReceived: true, SNRdB: 0})
+	if got := s.NextRate(0); got != 0 {
+		t.Fatalf("per-frame SNR moved to %d on outlier, want 0", got)
+	}
+}
+
+func TestTrainThresholds(t *testing.T) {
+	// Synthetic ground truth: rate i usable from 5*i dB upward.
+	var samples []TrainingSample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 6; i++ {
+		for snr := -5.0; snr < 35; snr += 0.25 {
+			for k := 0; k < 4; k++ {
+				ok := snr >= float64(5*i)
+				// 5% label noise.
+				if rng.Float64() < 0.05 {
+					ok = !ok
+				}
+				samples = append(samples, TrainingSample{RateIndex: i, SNRdB: snr, Delivered: ok})
+			}
+		}
+	}
+	th := TrainThresholds(samples, 6, 0.9)
+	for i := range th {
+		want := float64(5 * i)
+		if math.Abs(th[i]-want) > 2.5 {
+			t.Errorf("threshold[%d] = %v, want ~%v", i, th[i], want)
+		}
+	}
+	// Monotone.
+	for i := 1; i < len(th); i++ {
+		if th[i] < th[i-1] {
+			t.Fatalf("thresholds not monotone: %v", th)
+		}
+	}
+}
+
+func TestTrainThresholdsEmptyRate(t *testing.T) {
+	th := TrainThresholds(nil, 3, 0.9)
+	if math.IsInf(th[0], 1) {
+		t.Fatal("rate 0 threshold must be finite even without data")
+	}
+}
+
+func TestSampleRateStartsOptimistic(t *testing.T) {
+	sr := NewSampleRate(rate.Evaluation(), lossless1400(), rand.New(rand.NewSource(2)))
+	// With no data, every rate looks lossless, so the highest (shortest
+	// airtime) wins.
+	if got := sr.NextRate(0); got != 5 {
+		t.Fatalf("initial rate %d, want 5", got)
+	}
+}
+
+func TestSampleRateConvergesToBestRate(t *testing.T) {
+	// Channel: rates 0..3 always deliver, rates 4,5 always fail. The
+	// throughput-optimal choice is rate 3.
+	sr := NewSampleRate(rate.Evaluation(), lossless1400(), rand.New(rand.NewSource(3)))
+	now := 0.0
+	for i := 0; i < 300; i++ {
+		idx := sr.NextRate(now)
+		ok := idx <= 3
+		at := lossless1400()[idx]
+		if !ok {
+			at *= 2 // retries burn extra airtime
+		}
+		now += at
+		sr.OnResult(Result{Time: now, RateIndex: idx, Airtime: at, Delivered: ok})
+	}
+	// Count decisions over the next 50 frames.
+	votes := map[int]int{}
+	for i := 0; i < 50; i++ {
+		idx := sr.NextRate(now)
+		votes[idx]++
+		at := lossless1400()[idx]
+		now += at
+		sr.OnResult(Result{Time: now, RateIndex: idx, Airtime: at, Delivered: idx <= 3})
+	}
+	if votes[3] < 40 {
+		t.Fatalf("SampleRate chose rate 3 only %d/50 times: %v", votes[3], votes)
+	}
+}
+
+func TestSampleRateProbes(t *testing.T) {
+	sr := NewSampleRate(rate.Evaluation(), lossless1400(), rand.New(rand.NewSource(4)))
+	sr.ProbeEvery = 5
+	now := 0.0
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		idx := sr.NextRate(now)
+		seen[idx] = true
+		at := lossless1400()[idx]
+		now += at
+		// Rate 2 is best; everything else fails.
+		sr.OnResult(Result{Time: now, RateIndex: idx, Airtime: at, Delivered: idx == 2})
+	}
+	if len(seen) < 3 {
+		t.Fatalf("SampleRate explored only %d rates", len(seen))
+	}
+	if !seen[2] {
+		t.Fatal("never found the working rate")
+	}
+}
+
+func TestSampleRateWindowForgets(t *testing.T) {
+	// A rate that failed long ago must become eligible again once its
+	// failures age out of the window (via the optimistic default).
+	sr := NewSampleRate(rate.Evaluation(), lossless1400(), rand.New(rand.NewSource(5)))
+	sr.Window = 0.5
+	for i := 0; i < 4; i++ {
+		sr.OnResult(Result{Time: 0.01 * float64(i), RateIndex: 5, Airtime: 1e-3, Delivered: false})
+	}
+	if sr.avgTxTime(5, 0.05) != math.Inf(1) {
+		t.Fatal("recent failures must give +Inf metric")
+	}
+	// consecFail keeps rate 5 locked out even after the window; clear it
+	// by a success elsewhere... it's per-rate, so check the window path:
+	sr.consecFail[5] = 0
+	if got := sr.avgTxTime(5, 10); got != sr.LosslessAirtime[5] {
+		t.Fatalf("aged-out rate metric %v, want optimistic lossless", got)
+	}
+}
+
+func TestRRAAThresholds(t *testing.T) {
+	r := NewRRAA(rate.Evaluation(), lossless1400(), false)
+	for i := 1; i < 6; i++ {
+		if r.pmtl[i] <= 0 || r.pmtl[i] >= 1 {
+			t.Fatalf("P_MTL[%d] = %v out of (0,1)", i, r.pmtl[i])
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if r.pori[i] >= r.pmtl[i+1] {
+			t.Fatalf("P_ORI[%d]=%v not below P_MTL[%d]=%v", i, r.pori[i], i+1, r.pmtl[i+1])
+		}
+	}
+	if r.pmtl[0] <= 1 {
+		t.Fatal("lowest rate must never step down")
+	}
+}
+
+func TestRRAAStepsDownFastUnderLoss(t *testing.T) {
+	r := NewRRAA(rate.Evaluation(), lossless1400(), false)
+	r.cur = 5
+	frames := 0
+	for r.NextRate(0) == 5 && frames < 100 {
+		r.OnResult(Result{RateIndex: 5, Delivered: false})
+		frames++
+	}
+	// With the early-exit check RRAA abandons a failing rate within a few
+	// frames (P_MTL*EWnd ≈ 4-8 losses), far sooner than a full window.
+	if frames > r.EWnd {
+		t.Fatalf("RRAA took %d frames to react (window %d)", frames, r.EWnd)
+	}
+}
+
+func TestRRAAStepsUpOnCleanWindows(t *testing.T) {
+	r := NewRRAA(rate.Evaluation(), lossless1400(), false)
+	if r.NextRate(0) != 0 {
+		t.Fatal("RRAA must start at the lowest rate")
+	}
+	for i := 0; i < r.EWnd*8; i++ {
+		r.OnResult(Result{RateIndex: r.NextRate(0), Delivered: true})
+	}
+	if got := r.NextRate(0); got < 3 {
+		t.Fatalf("after clean windows rate %d, want >= 3", got)
+	}
+}
+
+func TestRRAAHoldsInBand(t *testing.T) {
+	// Loss ratio between P_ORI and P_MTL: hold.
+	r := NewRRAA(rate.Evaluation(), lossless1400(), false)
+	r.cur = 3
+	p := (r.pori[3] + r.pmtl[3]) / 2
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < r.EWnd*6; i++ {
+		r.OnResult(Result{RateIndex: 3, Delivered: rng.Float64() > p})
+	}
+	if got := r.NextRate(0); got < 2 || got > 4 {
+		t.Fatalf("in-band loss moved rate to %d", got)
+	}
+}
+
+func TestRRAAAdaptiveRTS(t *testing.T) {
+	r := NewRRAA(rate.Evaluation(), lossless1400(), true)
+	if r.WantRTS() {
+		t.Fatal("RTS must start off")
+	}
+	// Unprotected losses grow the RTS window.
+	for i := 0; i < 5; i++ {
+		r.OnResult(Result{RateIndex: 0, Delivered: false, UsedRTS: false})
+	}
+	if !r.WantRTS() {
+		t.Fatal("RTS window did not open after unprotected losses")
+	}
+	// Losses *with* RTS shrink it back.
+	for i := 0; i < 10; i++ {
+		r.OnResult(Result{RateIndex: 0, Delivered: false, UsedRTS: true})
+	}
+	// Drain the counter.
+	for i := 0; i < 50; i++ {
+		r.WantRTS()
+	}
+	if r.rtsWnd != 0 {
+		t.Fatalf("rtsWnd = %d after protected losses, want 0", r.rtsWnd)
+	}
+}
+
+func TestRRAAWithoutARTSNeverRTS(t *testing.T) {
+	r := NewRRAA(rate.Evaluation(), lossless1400(), false)
+	for i := 0; i < 10; i++ {
+		r.OnResult(Result{RateIndex: 0, Delivered: false})
+		if r.WantRTS() {
+			t.Fatal("A-RTS disabled but RTS requested")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package ratectl
+
+import (
+	"softrate/internal/rate"
+)
+
+// RRAA implements Robust Rate Adaptation [24]: short-term frame loss
+// ratios over a small estimation window drive the rate up or down against
+// two per-rate thresholds, and an adaptive RTS filter (A-RTS) tries to
+// shield the loss statistics from collisions.
+//
+//   - P_MTL(i) ("maximum tolerable loss") is the loss ratio at which rate
+//     i's throughput falls to rate i-1's lossless throughput:
+//     P_MTL = 1 - airtime(i)/airtime(i-1).
+//   - P_ORI(i) ("opportunistic rate increase") is P_MTL(i+1)/10.
+//
+// After each estimation window of EWnd frames: loss ratio > P_MTL ⇒ step
+// down; < P_ORI ⇒ step up; otherwise hold. A mid-window check steps down
+// early once the losses already seen guarantee the window will exceed
+// P_MTL (RRAA's responsiveness trick).
+type RRAA struct {
+	// Rates is the available rate set.
+	Rates []rate.Rate
+	// EWnd is the estimation window in frames (default 20).
+	EWnd int
+	// EnableARTS turns on the adaptive RTS filter.
+	EnableARTS bool
+
+	pmtl, pori []float64
+	cur        int
+	wndFrames  int
+	wndLosses  int
+
+	// A-RTS state.
+	rtsWnd     int
+	rtsCounter int
+	lastRTS    bool
+}
+
+// NewRRAA builds an RRAA instance from the rate set and the per-rate
+// lossless airtimes (same vector SampleRate uses).
+func NewRRAA(rates []rate.Rate, lossless []float64, arts bool) *RRAA {
+	n := len(rates)
+	r := &RRAA{
+		Rates:      rates,
+		EWnd:       20,
+		EnableARTS: arts,
+		pmtl:       make([]float64, n),
+		pori:       make([]float64, n),
+	}
+	for i := 1; i < n; i++ {
+		r.pmtl[i] = 1 - lossless[i]/lossless[i-1]
+		if r.pmtl[i] < 0.05 {
+			r.pmtl[i] = 0.05
+		}
+	}
+	r.pmtl[0] = 1.1 // lowest rate never steps down
+	for i := 0; i < n-1; i++ {
+		r.pori[i] = r.pmtl[i+1] / 10
+	}
+	r.pori[n-1] = 0 // highest rate never steps up
+	return r
+}
+
+// Name implements Adapter.
+func (r *RRAA) Name() string { return "RRAA" }
+
+// NextRate implements Adapter.
+func (r *RRAA) NextRate(float64) int { return r.cur }
+
+// WantRTS implements Adapter: true while the adaptive RTS window is open.
+func (r *RRAA) WantRTS() bool {
+	r.lastRTS = r.EnableARTS && r.rtsCounter > 0
+	if r.rtsCounter > 0 {
+		r.rtsCounter--
+	}
+	return r.lastRTS
+}
+
+// OnResult implements Adapter.
+func (r *RRAA) OnResult(res Result) {
+	if r.EnableARTS {
+		// A-RTS filter: a loss without RTS suggests a collision RTS
+		// could have avoided — widen the RTS window. A loss with RTS on
+		// (collision already prevented) means the loss was channel
+		// noise — halve it.
+		if (!res.UsedRTS && !res.Delivered) || (res.UsedRTS && res.Delivered) {
+			if r.rtsWnd < 40 {
+				r.rtsWnd++
+			}
+		} else {
+			r.rtsWnd /= 2
+		}
+		if r.rtsCounter < r.rtsWnd {
+			r.rtsCounter = r.rtsWnd
+		}
+		// Losses protected by RTS are excluded from loss statistics:
+		// they cannot have been collisions... and conversely: RRAA
+		// counts only non-RTS frames toward the loss ratio when A-RTS
+		// active. Simpler and faithful enough: count everything; the
+		// filter's job is to prevent the collisions themselves.
+	}
+
+	r.wndFrames++
+	if !res.Delivered {
+		r.wndLosses++
+	}
+
+	lossRatio := float64(r.wndLosses) / float64(r.EWnd)
+	if lossRatio > r.pmtl[r.cur] {
+		// Early exit: even if the rest of the window is clean the loss
+		// ratio already exceeds P_MTL.
+		r.stepDown()
+		return
+	}
+	if r.wndFrames >= r.EWnd {
+		p := float64(r.wndLosses) / float64(r.wndFrames)
+		switch {
+		case p > r.pmtl[r.cur]:
+			r.stepDown()
+		case p < r.pori[r.cur]:
+			r.stepUp()
+		default:
+			r.resetWindow()
+		}
+	}
+}
+
+func (r *RRAA) stepDown() {
+	if r.cur > 0 {
+		r.cur--
+	}
+	r.resetWindow()
+}
+
+func (r *RRAA) stepUp() {
+	if r.cur < len(r.Rates)-1 {
+		r.cur++
+	}
+	r.resetWindow()
+}
+
+func (r *RRAA) resetWindow() {
+	r.wndFrames = 0
+	r.wndLosses = 0
+}

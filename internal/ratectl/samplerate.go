@@ -1,0 +1,159 @@
+package ratectl
+
+import (
+	"math"
+	"math/rand"
+
+	"softrate/internal/rate"
+)
+
+// SampleRate implements Bicket's SampleRate algorithm [4]: pick the rate
+// with the smallest average transmission time per successfully delivered
+// frame, measured over a sliding window, while occasionally sampling other
+// rates to discover changes. The paper's evaluation shortens the averaging
+// window from Bicket's 10 s to 1 s because it performed better (§6.1); we
+// default to 1 s and make it configurable.
+type SampleRate struct {
+	// Rates is the available rate set.
+	Rates []rate.Rate
+	// Window is the averaging window in seconds (default 1).
+	Window float64
+	// ProbeEvery makes every n-th frame a sampling probe (default 10).
+	ProbeEvery int
+	// LosslessAirtime gives the no-retry airtime of a frame at each rate
+	// (used both as the initial optimistic estimate and to rule out
+	// sampling rates that cannot possibly win).
+	LosslessAirtime []float64
+	// MaxConsecFail skips rates with this many consecutive failures
+	// (Bicket's rule, default 4).
+	MaxConsecFail int
+	// Rng drives probe rate selection.
+	Rng *rand.Rand
+
+	frameCount int
+	samples    [][]srSample
+	consecFail []int
+	lastProbe  int
+}
+
+type srSample struct {
+	time    float64
+	airtime float64
+	ok      bool
+}
+
+// NewSampleRate builds a SampleRate instance.
+func NewSampleRate(rates []rate.Rate, lossless []float64, rng *rand.Rand) *SampleRate {
+	return &SampleRate{
+		Rates:           rates,
+		Window:          1.0,
+		ProbeEvery:      10,
+		LosslessAirtime: lossless,
+		MaxConsecFail:   4,
+		Rng:             rng,
+		samples:         make([][]srSample, len(rates)),
+		consecFail:      make([]int, len(rates)),
+	}
+}
+
+// Name implements Adapter.
+func (s *SampleRate) Name() string { return "SampleRate" }
+
+// WantRTS implements Adapter.
+func (s *SampleRate) WantRTS() bool { return false }
+
+// avgTxTime returns the average airtime per delivered frame at rate i over
+// the window ending at now; +Inf if nothing was delivered, and the
+// optimistic lossless airtime if the rate is untried in the window.
+func (s *SampleRate) avgTxTime(i int, now float64) float64 {
+	var total float64
+	n, ok := 0, 0
+	for _, sm := range s.samples[i] {
+		if sm.time < now-s.Window {
+			continue
+		}
+		n++
+		total += sm.airtime
+		if sm.ok {
+			ok++
+		}
+	}
+	if n == 0 {
+		return s.LosslessAirtime[i] // optimistic: untried rates look good
+	}
+	if ok == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(ok)
+}
+
+// NextRate implements Adapter: normally the best-metric rate; every
+// ProbeEvery-th frame, a random different rate whose lossless transmission
+// time beats the current best average (Bicket's sampling criterion).
+//
+// The consecutive-failure rule gates only *sampling*: a rate that failed
+// MaxConsecFail times in a row is not probed, but the best-metric choice
+// is purely window-driven — a collapsing rate is abandoned when its
+// delivered-airtime metric goes bad, which takes on the order of the
+// averaging window. That window-bound sluggishness is SampleRate's
+// defining behaviour in Figure 15.
+func (s *SampleRate) NextRate(now float64) int {
+	best, bestT := 0, math.Inf(1)
+	for i := range s.Rates {
+		if t := s.avgTxTime(i, now); t < bestT {
+			best, bestT = i, t
+		}
+	}
+	s.frameCount++
+	if s.ProbeEvery > 0 && s.frameCount%s.ProbeEvery == 0 {
+		// Candidate probes: rates other than best whose lossless time is
+		// under the current best average (could conceivably do better)
+		// and that aren't failing consecutively.
+		var cands []int
+		for i := range s.Rates {
+			if i == best || s.consecFail[i] >= s.MaxConsecFail {
+				continue
+			}
+			if s.LosslessAirtime[i] < bestT {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) > 0 {
+			s.lastProbe = cands[s.Rng.Intn(len(cands))]
+			return s.lastProbe
+		}
+	}
+	return best
+}
+
+// OnResult implements Adapter.
+func (s *SampleRate) OnResult(res Result) {
+	i := res.RateIndex
+	if i < 0 || i >= len(s.Rates) {
+		return
+	}
+	s.samples[i] = append(s.samples[i], srSample{res.Time, res.Airtime, res.Delivered})
+	// Garbage-collect outside the window to bound memory.
+	cut := res.Time - 2*s.Window
+	for len(s.samples[i]) > 0 && s.samples[i][0].time < cut {
+		s.samples[i] = s.samples[i][1:]
+	}
+	if res.Delivered {
+		s.consecFail[i] = 0
+	} else {
+		s.consecFail[i]++
+	}
+	// If every rate is locked out, forgive.
+	all := true
+	for j := range s.consecFail {
+		if s.consecFail[j] < s.MaxConsecFail {
+			all = false
+			break
+		}
+	}
+	if all {
+		for j := range s.consecFail {
+			s.consecFail[j] = 0
+		}
+	}
+}

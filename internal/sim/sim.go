@@ -1,0 +1,94 @@
+// Package sim is a deterministic discrete-event simulation engine — the
+// substrate standing in for ns-3 in the trace-driven evaluation (§4.1).
+// Events fire in timestamp order with FIFO tie-breaking, so a simulation
+// driven by seeded PRNGs is exactly reproducible.
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now float64
+	seq int64
+	pq  eventQueue
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds of simulated time. Negative delays
+// are clamped to zero (fire "now", after already-queued events at the same
+// instant).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulation time t; times in the past are clamped
+// to now.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// Run processes events in order until the queue is empty or the next event
+// lies beyond the until time; the clock never exceeds until.
+func (e *Engine) Run(until float64) {
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.time
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll processes every queued event (including those scheduled by other
+// events) until the queue drains. Use only when the event graph is known
+// to terminate.
+func (e *Engine) RunAll() {
+	for len(e.pq) > 0 {
+		next := heap.Pop(&e.pq).(*event)
+		e.now = next.time
+		next.fn()
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	var e Engine
+	var got []float64
+	for _, d := range []float64{0.5, 0.1, 0.9, 0.3} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 4 {
+		t.Fatalf("fired %d events, want 4", len(got))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var trace []string
+	e.Schedule(1, func() {
+		trace = append(trace, "a")
+		e.Schedule(1, func() { trace = append(trace, "c") })
+		e.Schedule(0.5, func() { trace = append(trace, "b") })
+	})
+	e.RunAll()
+	want := "abc"
+	var got string
+	for _, s := range trace {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("trace %q, want %q", got, want)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("final time %v, want 2", e.Now())
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(5, func() { fired++ })
+	e.Run(2)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock %v, want 2", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+	e.Run(10)
+	if fired != 2 {
+		t.Fatal("second event never fired")
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var e Engine
+	e.Schedule(1, func() {
+		e.At(0.5, func() {
+			if e.Now() != 1 {
+				t.Errorf("past event fired at %v, want clamped to 1", e.Now())
+			}
+		})
+	})
+	e.Schedule(-5, func() {
+		if e.Now() != 0 {
+			t.Errorf("negative delay fired at %v", e.Now())
+		}
+	})
+	e.RunAll()
+}
+
+func TestClockNeverGoesBackwards(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		last := -1.0
+		ok := true
+		var spawn func()
+		n := 0
+		spawn = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if n < 100 {
+				n++
+				e.Schedule(rng.Float64(), spawn)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.Schedule(rng.Float64(), spawn)
+		}
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		var e Engine
+		rng := rand.New(rand.NewSource(42))
+		var times []float64
+		var spawn func()
+		n := 0
+		spawn = func() {
+			times = append(times, e.Now())
+			if n < 200 {
+				n++
+				e.Schedule(rng.Float64()*0.1, spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.RunAll()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

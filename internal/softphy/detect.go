@@ -1,0 +1,290 @@
+package softphy
+
+import "math"
+
+// DetectorConfig parameterizes the interference detector of §3.2/§4.
+//
+// The paper's heuristic is a threshold on the per-symbol BER difference
+// d_j = |p_j − p_{j−1}|: stochastic fading moves the BER gradually at
+// OFDM-symbol timescales, while a colliding transmission (which degrades
+// every subcarrier at once, thanks to the frequency interleaver) moves it
+// by orders of magnitude within one symbol.
+//
+// Because p_j is an empirical mean over the nbps bits of one detection
+// block — and convolutional decoding makes bit errors bursty — the raw
+// pairwise test is noisy: a single trellis error event can spike one
+// block's estimate. This implementation is the same heuristic made
+// numerically robust: it searches for the contiguous block interval that
+// contrasts most strongly with the rest of the frame and declares a
+// collision only if the interval
+//
+//   - is at least MinBurstSymbols blocks long,
+//   - exceeds the clean floor (the median of the remaining blocks) by
+//     RatioThreshold multiplicatively ("a sudden change in BER by orders
+//     of magnitude", §3.2) and by JumpThreshold plus the sampling-noise
+//     term absolutely, and
+//   - has sharp edges: the step at each boundary must carry at least
+//     EdgeFraction of the burst/floor contrast — the signature that
+//     separates an interference onset from the smooth ramp of a fade.
+//
+// The detection block is one OFDM symbol in large-symbol modes (the
+// paper's long-range prototype packs 768+ bits per symbol); in modes with
+// small symbols callers should group several symbols per block (pass
+// nbps = k × InfoBitsPerSymbol) so the per-block BER statistics are
+// stable.
+type DetectorConfig struct {
+	// JumpThreshold is the absolute floor on the burst/rest BER contrast.
+	JumpThreshold float64
+	// NoiseSigmas scales the binomial sampling-noise term.
+	NoiseSigmas float64
+	// BurstinessDiscount divides the per-block bit count when computing
+	// sampling noise (decoder error events are ~4 bits long).
+	BurstinessDiscount float64
+	// RatioThreshold is the minimum multiplicative contrast.
+	RatioThreshold float64
+	// BurstSigmas scales the burst-side sampling-noise term: the contrast
+	// must also exceed the fluctuation a clean channel could produce at
+	// the burst's own measured level, which is what rejects isolated
+	// decoder error events masquerading as one-block bursts.
+	BurstSigmas float64
+	// MinBurstSymbols is the minimum burst length in blocks.
+	MinBurstSymbols int
+	// EdgeFraction is the minimum boundary step, as a fraction of the
+	// burst/floor contrast.
+	EdgeFraction float64
+	// MaxBursts bounds the excision iterations.
+	MaxBursts int
+}
+
+// DefaultDetector returns the detector configuration used throughout the
+// experiments.
+func DefaultDetector() DetectorConfig {
+	return DetectorConfig{
+		JumpThreshold:      3e-3,
+		NoiseSigmas:        5,
+		BurstinessDiscount: 4,
+		RatioThreshold:     8,
+		BurstSigmas:        2.5,
+		MinBurstSymbols:    1,
+		EdgeFraction:       0.3,
+		MaxBursts:          3,
+	}
+}
+
+// Analysis is the receiver-side summary of one frame's SoftPHY hints.
+type Analysis struct {
+	// FrameBER is the hint-estimated BER over the whole frame.
+	FrameBER float64
+	// InterferenceFreeBER is the hint-estimated BER over the blocks not
+	// attributed to a collision. Equal to FrameBER when no collision was
+	// detected; falls back to FrameBER if every block was excised.
+	InterferenceFreeBER float64
+	// Collision reports whether the detector fired.
+	Collision bool
+	// Excised flags, per detection block, the portions attributed to
+	// interference.
+	Excised []bool
+	// SymbolBERs is the per-block BER series p_j (Equation 4).
+	SymbolBERs []float64
+}
+
+// maxBlocks caps the number of detection blocks per frame: beyond this the
+// interval search cost grows cubically and the extra granularity buys
+// nothing, so Analyze merges adjacent blocks (doubling nbps) until the
+// frame fits.
+const maxBlocks = 48
+
+// Analyze computes per-block BERs from the hints of one frame (nbps hints
+// per detection block) and runs the interference detector.
+func Analyze(hints []float64, nbps int, cfg DetectorConfig) *Analysis {
+	for nbps < len(hints) && (len(hints)+nbps-1)/nbps > maxBlocks {
+		nbps *= 2
+	}
+	p := SymbolBERs(hints, nbps)
+	a := &Analysis{
+		FrameBER:   FrameBER(hints),
+		SymbolBERs: p,
+		Excised:    make([]bool, len(p)),
+	}
+	if cfg.MaxBursts <= 0 {
+		cfg.MaxBursts = 3
+	}
+	minBurst := cfg.MinBurstSymbols
+	if minBurst < 1 {
+		minBurst = 1
+	}
+	if len(p) < minBurst+1 {
+		a.InterferenceFreeBER = a.FrameBER
+		return a
+	}
+
+	for iter := 0; iter < cfg.MaxBursts; iter++ {
+		if !a.exciseOneBurst(cfg, nbps, minBurst) {
+			break
+		}
+		a.Collision = true
+	}
+
+	if !a.Collision {
+		a.InterferenceFreeBER = a.FrameBER
+		return a
+	}
+	// Interference-free BER over the surviving blocks, weighted by the
+	// number of bits each block contributed.
+	var sum, n float64
+	for j, excised := range a.Excised {
+		if excised {
+			continue
+		}
+		bits := float64(nbps)
+		if j == len(a.SymbolBERs)-1 && len(hints)%nbps != 0 {
+			bits = float64(len(hints) % nbps)
+		}
+		sum += a.SymbolBERs[j] * bits
+		n += bits
+	}
+	if n == 0 {
+		a.InterferenceFreeBER = a.FrameBER
+	} else {
+		a.InterferenceFreeBER = sum / n
+	}
+	return a
+}
+
+// exciseOneBurst evaluates the collision criteria on every candidate
+// interval among the non-excised blocks and excises the passing interval
+// with the largest contrast. Returns whether an interval was excised.
+func (a *Analysis) exciseOneBurst(cfg DetectorConfig, nbps, minBurst int) bool {
+	p := a.SymbolBERs
+	totalN := 0
+	for _, e := range a.Excised {
+		if !e {
+			totalN++
+		}
+	}
+	if totalN <= minBurst {
+		return false
+	}
+
+	bestDiff := 0.0
+	var bestI, bestJ int
+	found := false
+
+	segStart := -1
+	for j := 0; j <= len(p); j++ {
+		if j < len(p) && !a.Excised[j] {
+			if segStart < 0 {
+				segStart = j
+			}
+			continue
+		}
+		if segStart >= 0 {
+			for i := segStart; i < j; i++ {
+				for k := i + minBurst; k <= j; k++ {
+					if k-i >= totalN {
+						continue // rest must be nonempty
+					}
+					if diff, ok := a.burstQualifies(cfg, nbps, i, k); ok && diff > bestDiff {
+						bestDiff = diff
+						bestI, bestJ = i, k
+						found = true
+					}
+				}
+			}
+			segStart = -1
+		}
+	}
+	if !found {
+		return false
+	}
+	for k := bestI; k < bestJ; k++ {
+		a.Excised[k] = true
+	}
+	return true
+}
+
+// burstQualifies applies the collision criteria to the interval [i, j) and
+// returns its contrast over the clean floor.
+func (a *Analysis) burstQualifies(cfg DetectorConfig, nbps, i, j int) (diff float64, ok bool) {
+	p := a.SymbolBERs
+	L := j - i
+	var burstSum float64
+	for k := i; k < j; k++ {
+		burstSum += p[k]
+	}
+	burstMean := burstSum / float64(L)
+	floor := a.cleanFloor(i, j)
+	diff = burstMean - floor
+
+	disc := cfg.BurstinessDiscount
+	if disc < 1 {
+		disc = 1
+	}
+	neff := float64(nbps) / disc * float64(L)
+	noise := cfg.NoiseSigmas * math.Sqrt(math.Max(floor, 1e-12)*(1-floor)/neff)
+	noise += cfg.BurstSigmas * math.Sqrt(math.Max(burstMean, 1e-12)*(1-burstMean)/neff)
+	ratio := cfg.RatioThreshold
+	if ratio <= 1 {
+		ratio = 8
+	}
+	if diff < cfg.JumpThreshold+noise {
+		return 0, false
+	}
+	if burstMean < ratio*floor {
+		return 0, false
+	}
+	// Edge sharpness at existing boundaries. A boundary block that the
+	// interferer covered only partially carries an intermediate BER, so
+	// the step is measured across a two-block window: either the boundary
+	// block itself or its inner neighbour must stand sharply above the
+	// clean side.
+	edge := cfg.EdgeFraction
+	if i > 0 && !a.Excised[i-1] {
+		step := p[i] - p[i-1]
+		if i+1 < j {
+			if s2 := p[i+1] - p[i-1]; s2 > step {
+				step = s2
+			}
+		}
+		if step < edge*diff {
+			return 0, false
+		}
+	}
+	if j < len(p) && !a.Excised[j] {
+		step := p[j-1] - p[j]
+		if j-2 >= i {
+			if s2 := p[j-2] - p[j]; s2 > step {
+				step = s2
+			}
+		}
+		if step < edge*diff {
+			return 0, false
+		}
+	}
+	return diff, true
+}
+
+// cleanFloor returns the median of the non-excised blocks outside [i, j) —
+// a burst-robust estimate of the frame's clean BER level. (The median,
+// unlike the mean, is unaffected by a second, not-yet-excised burst; and,
+// unlike a lower-quantile estimate, it does not under-read noisy flat
+// frames and inflate the contrast ratio.)
+func (a *Analysis) cleanFloor(i, j int) float64 {
+	var rest []float64
+	for k, e := range a.Excised {
+		if e || (k >= i && k < j) {
+			continue
+		}
+		rest = append(rest, a.SymbolBERs[k])
+	}
+	if len(rest) == 0 {
+		return 0
+	}
+	// Insertion sort: rest is small.
+	for x := 1; x < len(rest); x++ {
+		for y := x; y > 0 && rest[y] < rest[y-1]; y-- {
+			rest[y], rest[y-1] = rest[y-1], rest[y]
+		}
+	}
+	return rest[len(rest)/2]
+}

@@ -1,0 +1,79 @@
+// Package softphy implements the SoftPHY interface math of §3.1–§3.2: the
+// conversion from per-bit SoftPHY hints (|LLR| values exported by the
+// decoder) to bit error probabilities (Equation 3), per-frame and
+// per-OFDM-symbol BER estimation (Equation 4), and the interference
+// detection heuristic that excises collision-damaged portions of a frame
+// so that rate adaptation reacts only to the interference-free channel BER.
+package softphy
+
+import "math"
+
+// BitErrorProb converts a SoftPHY hint s_k = |LLR(k)| into the probability
+// that bit k was decoded incorrectly (Equation 3):
+//
+//	p_k = 1 / (1 + exp(s_k))
+func BitErrorProb(hint float64) float64 {
+	// For large hints exp overflows gracefully to +Inf and p_k to 0.
+	return 1 / (1 + math.Exp(hint))
+}
+
+// HintForProb inverts Equation 3: the hint magnitude corresponding to a
+// given error probability, s = log((1-p)/p).
+func HintForProb(p float64) float64 {
+	return math.Log((1 - p) / p)
+}
+
+// FrameBER averages p_k over all hints in a frame, the receiver's estimate
+// of the channel BER during the frame — computable even when the frame had
+// no bit errors at all, which is what lets SoftRate tell a 1e-9 channel
+// from a 1e-4 one (§1).
+func FrameBER(hints []float64) float64 {
+	if len(hints) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range hints {
+		sum += BitErrorProb(s)
+	}
+	return sum / float64(len(hints))
+}
+
+// minBlockBits is the target detection-block size: the paper's long-range
+// prototype carries 768+ information bits per OFDM symbol, which is what
+// makes its per-symbol BER estimates stable enough for the jump heuristic;
+// modes with smaller symbols group several per block to match.
+const minBlockBits = 512
+
+// BlockBits returns the detection-block size (in hints) for a PHY whose
+// OFDM symbols carry infoBitsPerSymbol information bits: the smallest
+// whole number of symbols reaching minBlockBits.
+func BlockBits(infoBitsPerSymbol int) int {
+	if infoBitsPerSymbol <= 0 {
+		return minBlockBits
+	}
+	k := (minBlockBits + infoBitsPerSymbol - 1) / infoBitsPerSymbol
+	return k * infoBitsPerSymbol
+}
+
+// SymbolBERs averages p_k in groups of nbps bits — one group per OFDM
+// symbol (Equation 4). The final group may be shorter because the
+// trellis tail bits carry no hints.
+func SymbolBERs(hints []float64, nbps int) []float64 {
+	if nbps <= 0 {
+		panic("softphy: nbps must be positive")
+	}
+	n := (len(hints) + nbps - 1) / nbps
+	out := make([]float64, 0, n)
+	for base := 0; base < len(hints); base += nbps {
+		end := base + nbps
+		if end > len(hints) {
+			end = len(hints)
+		}
+		var sum float64
+		for _, s := range hints[base:end] {
+			sum += BitErrorProb(s)
+		}
+		out = append(out, sum/float64(end-base))
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"softrate/internal/ratectl"
+)
+
+// Save writes a LinkTrace as gzip-compressed JSON.
+func Save(w io.Writer, lt *LinkTrace) error {
+	gz := gzip.NewWriter(w)
+	if err := json.NewEncoder(gz).Encode(lt); err != nil {
+		gz.Close()
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return gz.Close()
+}
+
+// Load reads a LinkTrace written by Save.
+func Load(r io.Reader) (*LinkTrace, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: gzip: %w", err)
+	}
+	defer gz.Close()
+	var lt LinkTrace
+	if err := json.NewDecoder(gz).Decode(&lt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if lt.Interval <= 0 || len(lt.Snapshots) == 0 {
+		return nil, fmt.Errorf("trace: malformed trace (interval %v, %d rates)", lt.Interval, len(lt.Snapshots))
+	}
+	return &lt, nil
+}
+
+// SaveFile writes a trace to path.
+func SaveFile(path string, lt *LinkTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Save(f, lt)
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*LinkTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// TrainingSamples converts every snapshot of the trace into labelled
+// (rate, SNR, delivered) samples for ratectl.TrainThresholds — the in-situ
+// training the paper performs for its "SNR (trained)" baseline, which
+// computes "the SNR-BER relationships ... from the traces used for
+// evaluation" (§6.1).
+func (lt *LinkTrace) TrainingSamples() []ratectl.TrainingSample {
+	var out []ratectl.TrainingSample
+	for ri, snaps := range lt.Snapshots {
+		for _, s := range snaps {
+			if !s.Detected {
+				continue
+			}
+			out = append(out, ratectl.TrainingSample{
+				RateIndex: ri,
+				SNRdB:     s.SNRdB,
+				Delivered: s.Delivered,
+			})
+		}
+	}
+	return out
+}
