@@ -12,6 +12,7 @@ package softrate
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -131,3 +132,37 @@ func BenchmarkAblationHARQ(b *testing.B) { runExperiment(b, "ablation-harq") }
 
 // BenchmarkAblationSilentRuns sweeps the silent-loss run threshold.
 func BenchmarkAblationSilentRuns(b *testing.B) { runExperiment(b, "ablation-silent") }
+
+// ---- Trial-sharded engine scaling ----
+
+// runExperimentWorkers runs one experiment at an explicit worker count,
+// for before/after comparison of the engine's trial fan-out:
+//
+//	go test -bench=Workers -benchtime=1x .
+func runExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, experiments.Options{Scale: benchScale, Seed: 1, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Workers1 runs the heaviest harness (90 TCP simulations +
+// 30 trace generations) strictly serially.
+func BenchmarkFig13Workers1(b *testing.B) { runExperimentWorkers(b, "fig13", 1) }
+
+// BenchmarkFig13WorkersNumCPU runs it with one worker per CPU; on
+// multicore hardware the wall-clock ratio to Workers1 is the engine's
+// speedup.
+func BenchmarkFig13WorkersNumCPU(b *testing.B) {
+	runExperimentWorkers(b, "fig13", runtime.NumCPU())
+}
+
+// BenchmarkFig7Workers1 runs the 20-point SNR sweep serially.
+func BenchmarkFig7Workers1(b *testing.B) { runExperimentWorkers(b, "fig7", 1) }
+
+// BenchmarkFig7WorkersNumCPU runs the sweep one trial per CPU.
+func BenchmarkFig7WorkersNumCPU(b *testing.B) {
+	runExperimentWorkers(b, "fig7", runtime.NumCPU())
+}

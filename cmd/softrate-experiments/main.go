@@ -4,14 +4,19 @@
 // Usage:
 //
 //	softrate-experiments -list
-//	softrate-experiments -run fig13 [-scale 1.0] [-seed 42]
-//	softrate-experiments -all [-scale 0.25]
+//	softrate-experiments -run fig13 [-scale 1.0] [-seed 42] [-workers 4]
+//	softrate-experiments -all [-scale 0.25] [-format json|csv]
 //
 // Scale 1.0 approximates the paper's sample sizes (slow); the default 0.25
-// reproduces every shape in a few minutes.
+// reproduces every shape in a few minutes. Experiments shard into
+// independent trials executed across -workers goroutines (default: one
+// per CPU); output is byte-identical at any worker count for a fixed
+// seed. Tables go to stdout — as aligned text (default), JSON or CSV —
+// and per-experiment wall times go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,13 +26,23 @@ import (
 	"softrate/internal/experiments"
 )
 
+// report is one experiment's machine-readable output. It carries no
+// timing: stdout must be byte-identical across runs for a fixed seed so
+// results can be diffed across commits; wall times go to stderr.
+type report struct {
+	Experiment string               `json:"experiment"`
+	Tables     []*experiments.Table `json:"tables"`
+}
+
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiment IDs")
-		run   = flag.String("run", "", "comma-separated experiment IDs to run")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.Float64("scale", 0.25, "sample-size scale (1.0 = paper scale)")
-		seed  = flag.Int64("seed", 1, "PRNG seed")
+		list    = flag.Bool("list", false, "list available experiment IDs")
+		run     = flag.String("run", "", "comma-separated experiment IDs to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 0.25, "sample-size scale (1.0 = paper scale)")
+		seed    = flag.Int64("seed", 1, "PRNG seed")
+		workers = flag.Int("workers", 0, "max concurrent trials (0 = one per CPU)")
+		format  = flag.String("format", "text", "output format: text, json or csv")
 	)
 	flag.Parse()
 
@@ -49,8 +64,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
+	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	var reports []report
+	total := time.Duration(0)
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -59,9 +82,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			t.Fprint(os.Stdout)
+		elapsed := time.Since(start)
+		total += elapsed
+
+		switch *format {
+		case "text":
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+		case "csv":
+			for _, t := range tables {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		case "json":
+			reports = append(reports, report{Experiment: id, Tables: tables})
 		}
-		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "-- %s completed in %v --\n", id, elapsed.Round(time.Millisecond))
 	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "-- total: %d experiment(s) in %v --\n", len(ids), total.Round(time.Millisecond))
 }

@@ -1,0 +1,3 @@
+module softrate
+
+go 1.24

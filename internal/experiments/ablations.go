@@ -8,6 +8,7 @@ import (
 	"softrate/internal/channel"
 	"softrate/internal/coding"
 	"softrate/internal/core"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/phy"
 	"softrate/internal/rate"
@@ -33,12 +34,18 @@ func runAblationDecoder(o Options) []*Table {
 		Title:  "BER estimation quality: exact log-MAP vs max-log BCJR hints",
 		Header: []string{"decoder", "mean est/true ratio", "frames"},
 	}
-	for _, mode := range []struct {
+	modes := []struct {
 		name string
 		m    coding.BCJRMode
-	}{{"log-MAP", coding.LogMAP}, {"max-log", coding.MaxLog}} {
+	}{{"log-MAP", coding.LogMAP}, {"max-log", coding.MaxLog}}
+	// One trial per decoder mode.
+	type decRes struct {
+		gm float64
+		n  int
+	}
+	res := engine.Map(o.Workers, len(modes), func(i int) decRes {
 		cfg := phy.DefaultConfig()
-		cfg.Decoder = mode.m
+		cfg.Decoder = modes[i].m
 		link := &phy.Link{
 			Cfg:   cfg,
 			Model: channel.NewStaticModel(6.2, nil),
@@ -46,11 +53,11 @@ func runAblationDecoder(o Options) []*Table {
 		}
 		rng := rand.New(rand.NewSource(o.Seed + 6))
 		var ratios []float64
-		for i := 0; i < o.scaled(60); i++ {
+		for f := 0; f < o.scaled(60); f++ {
 			payload := make([]byte, 300)
 			rng.Read(payload)
 			tx := phy.Transmit(cfg, phy.Frame{Header: []byte{1}, Payload: payload, Rate: rate.ByIndex(3)})
-			rx := link.Deliver(tx, float64(i), nil)
+			rx := link.Deliver(tx, float64(f), nil)
 			if !rx.Detected || rx.BitErrors < 10 {
 				continue
 			}
@@ -63,7 +70,10 @@ func runAblationDecoder(o Options) []*Table {
 		if len(ratios) > 0 {
 			gm = math.Exp(gm / float64(len(ratios)))
 		}
-		out.AddRow(mode.name, fmt.Sprintf("%.2f", gm), fmt.Sprintf("%d", len(ratios)))
+		return decRes{gm, len(ratios)}
+	})
+	for i, mode := range modes {
+		out.AddRow(mode.name, fmt.Sprintf("%.2f", res[i].gm), fmt.Sprintf("%d", res[i].n))
 	}
 	out.AddNote("a ratio near 1.0 means calibrated hints; max-log typically under-reports BER")
 	return []*Table{out}
@@ -77,7 +87,7 @@ func runAblationExcision(o Options) []*Table {
 	if dur < 2 {
 		dur = 2
 	}
-	fwd, rev := staticShortRangeTraces(5, dur, o.Seed+4100)
+	fwd, rev := staticShortRangeTraces(o.Workers, 5, dur, o.Seed+4100)
 	out := &Table{
 		ID:     "ablation-excision",
 		Title:  "SoftRate with and without interference excision, 5 flows, Pr[CS]=0.2",
@@ -94,8 +104,11 @@ func runAblationExcision(o Options) []*Table {
 		})
 		return res.AggregateBps
 	}
-	with := run(0.8)
-	without := run(0.0) // detector off: every collision reads as noise
+	// Two trials: detector on at the measured 80% accuracy, detector off
+	// (every collision reads as noise).
+	detectPs := []float64{0.8, 0.0}
+	bps := engine.Map(o.Workers, len(detectPs), func(i int) float64 { return run(detectPs[i]) })
+	with, without := bps[0], bps[1]
 	out.AddRow("excision on (80% detection)", fmtMbps(with))
 	out.AddRow("excision off", fmtMbps(without))
 	out.AddNote("gain from excision: %.2fx — without it SoftRate inherits RRAA's collision pathology", with/math.Max(without, 1))
@@ -110,7 +123,9 @@ func runAblationJumps(o Options) []*Table {
 		Title:  "Feedback rounds to converge across a deep channel step (rate 5 -> optimal 1 and back)",
 		Header: []string{"MaxJump", "down rounds", "up rounds"},
 	}
-	for _, mj := range []int{1, 2} {
+	jumps := []int{1, 2}
+	rows := engine.Map(o.Workers, len(jumps), func(i int) [2]int {
+		mj := jumps[i]
 		cfg := core.DefaultConfig()
 		cfg.MaxJump = mj
 		// Channel A: optimal rate 1; channel B: optimal rate 5. BER
@@ -135,7 +150,10 @@ func runAblationJumps(o Options) []*Table {
 		countRounds(s, 5)
 		down := countRounds(s, 1)
 		up := countRounds(s, 5)
-		out.AddRow(fmt.Sprintf("%d", mj), fmt.Sprintf("%d", down), fmt.Sprintf("%d", up))
+		return [2]int{down, up}
+	})
+	for i, mj := range jumps {
+		out.AddRow(fmt.Sprintf("%d", mj), fmt.Sprintf("%d", rows[i][0]), fmt.Sprintf("%d", rows[i][1]))
 	}
 	out.AddNote("2-level jumps halve the traversal cost of deep fades — the paper's implementation does up to two")
 	return []*Table{out}
@@ -155,11 +173,21 @@ func runAblationHARQ(o Options) []*Table {
 		cfg.Recovery = rec
 		return core.New(cfg)
 	}
-	frame := mk(core.FrameARQ{})
-	harq := mk(core.HybridARQ{})
-	for i, r := range rateSet() {
-		fa, fb := frame.Thresholds(i)
-		ha, hb := harq.Thresholds(i)
+	// One trial per recovery model (each owns its SoftRate instance).
+	rates := rateSet()
+	recoveries := []core.ErrorRecovery{core.FrameARQ{}, core.HybridARQ{}}
+	thresholds := engine.Map(o.Workers, len(recoveries), func(i int) [][2]float64 {
+		s := mk(recoveries[i])
+		th := make([][2]float64, len(rates))
+		for ri := range rates {
+			a, b := s.Thresholds(ri)
+			th[ri] = [2]float64{a, b}
+		}
+		return th
+	})
+	for ri, r := range rates {
+		fa, fb := thresholds[0][ri][0], thresholds[0][ri][1]
+		ha, hb := thresholds[1][ri][0], thresholds[1][ri][1]
 		out.AddRow(r.Name(), fmtBER(fa), fmtBER(fb), fmtBER(ha), fmtBER(hb))
 	}
 	out.AddNote("H-ARQ tolerates ~100x higher BER before stepping down: rate adaptation decouples from error recovery by recomputing thresholds only")
@@ -179,8 +207,11 @@ func runAblationSilent(o Options) []*Table {
 		Title:  "Silent-loss run threshold sweep (5 hidden-terminal flows, Pr[CS]=0.5, no postambles)",
 		Header: []string{"threshold", "aggregate Mbps"},
 	}
-	fwd, rev := staticShortRangeTraces(5, dur, o.Seed+5100)
-	for _, run := range []int{1, 2, 3, 5} {
+	fwd, rev := staticShortRangeTraces(o.Workers, 5, dur, o.Seed+5100)
+	// One trial per threshold value.
+	thresholds := []int{1, 2, 3, 5}
+	bps := engine.Map(o.Workers, len(thresholds), func(i int) float64 {
+		run := thresholds[i]
 		cfg := netsim.DefaultConfig()
 		cfg.Duration = dur
 		cfg.Seed = o.Seed + 93
@@ -190,7 +221,10 @@ func runAblationSilent(o Options) []*Table {
 			c.SilentLossRun = run
 			return ratectl.NewSoftRate(c)
 		})
-		out.AddRow(fmt.Sprintf("%d", run), fmtMbps(res.AggregateBps))
+		return res.AggregateBps
+	})
+	for i, run := range thresholds {
+		out.AddRow(fmt.Sprintf("%d", run), fmtMbps(bps[i]))
 	}
 	out.AddNote("the paper picks 3 from the Figure 4 run-length analysis; thresholds of 1 overreact to collision-induced silence")
 	return []*Table{out}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// render executes an experiment and returns its full rendered text output.
+func render(t *testing.T, id string, o Options) []byte {
+	t.Helper()
+	tables, err := Run(id, o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		tb.Fprint(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelByteIdentical is the engine's core contract: for a fixed
+// seed, an experiment's rendered tables are byte-identical no matter how
+// many workers execute its trials. The set covers PHY sweeps (fig10),
+// MAC simulations (tab1, fig4), timeline experiments (fig15),
+// single-trial harnesses (fig3), netsim fan-outs (fig14) and — most
+// importantly — every multi-stage harness with flattened trial-index
+// arithmetic (fig13, fig16, fig17, ablation-excision), where a
+// transposed index would silently swap results between algorithms.
+func TestParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism tests skipped in -short mode")
+	}
+	for _, id := range []string{"fig3", "fig4", "fig10", "fig15", "tab1", "fig14",
+		"fig13", "fig16", "fig17", "ablation-excision"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			o := tiny()
+			o.Workers = 1
+			serial := render(t, id, o)
+			o.Workers = 8
+			parallel := render(t, id, o)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("%s: output differs between Workers=1 and Workers=8\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestCSVRendering checks the machine-readable table format round-trips
+// the structure: typed records, one per header/row/note.
+func TestCSVRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "a, \"quoted\" title", Header: []string{"c1", "c2"}}
+	tb.AddRow("v1", "v2")
+	tb.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "table,x,\"a, \"\"quoted\"\" title\"\nheader,c1,c2\nrow,v1,v2\nnote,note 7\n"
+	if buf.String() != want {
+		t.Errorf("CSV mismatch:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: one worker per available CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Map runs trial(i) for every i in [0, n) across a worker pool of the
+// given size and returns the results in index order. workers <= 0 means
+// DefaultWorkers(); the pool never exceeds n. Trials are claimed from a
+// shared counter, so uneven trial costs balance across workers, and the
+// result slice is written at each trial's own index, so completion order
+// never affects output.
+//
+// trial must be safe to call concurrently with itself: it may read shared
+// immutable state but must not write anything another trial reads, and
+// any PRNG it uses must be created inside the call (see Rand).
+func Map[T any](workers, n int, trial func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = trial(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = trial(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Trial is one independent unit of an experiment. It receives a private
+// deterministic PRNG and must derive all of its randomness from it (or
+// from seeds it computes itself); it may read shared immutable state but
+// must not mutate anything reachable from other trials.
+type Trial[T any] func(rng *rand.Rand) T
+
+// RunSeeded executes the declared trials across the worker pool, handing
+// trial i a PCG-backed PRNG seeded deterministically from (seed, i), and
+// returns the results in declaration order.
+func RunSeeded[T any](workers int, seed int64, trials []Trial[T]) []T {
+	return Map(workers, len(trials), func(i int) T {
+		return trials[i](Rand(seed, i))
+	})
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// splitmix64 constants (Steele, Lea & Flood: "Fast splittable
+// pseudorandom number generators", OOPSLA 2014). The golden-gamma
+// increment guarantees distinct, well-mixed streams for adjacent trial
+// indices even when base seeds are small consecutive integers.
+const (
+	goldenGamma = 0x9e3779b97f4a7c15
+	mixMul1     = 0xbf58476d1ce4e5b9
+	mixMul2     = 0x94d049bb133111eb
+	streamSalt  = 0xda942042e4dd58b5
+)
+
+// Seed derives the seed for one trial from a base seed and the trial's
+// index with a SplitMix64 finalizer. The mapping is stable across
+// processes and worker counts: it depends only on (base, trial).
+func Seed(base int64, trial int) int64 {
+	z := uint64(base) + goldenGamma*(uint64(trial)+1)
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return int64(z ^ (z >> 31))
+}
+
+// Rand returns a math/rand PRNG backed by a private PCG stream seeded
+// from Seed(base, trial). Each trial gets its own generator, so trials
+// never contend on (or perturb) a shared PRNG, and the stream a trial
+// sees is a pure function of (base, trial).
+func Rand(base int64, trial int) *rand.Rand {
+	s := uint64(Seed(base, trial))
+	return rand.New(&pcgSource{pcg: randv2.NewPCG(s, s^streamSalt)})
+}
+
+// pcgSource adapts math/rand/v2's PCG generator to the math/rand Source64
+// interface the rest of the codebase consumes.
+type pcgSource struct{ pcg *randv2.PCG }
+
+func (s *pcgSource) Uint64() uint64 { return s.pcg.Uint64() }
+func (s *pcgSource) Int63() int64   { return int64(s.pcg.Uint64() >> 1) }
+func (s *pcgSource) Seed(seed int64) {
+	s.pcg.Seed(uint64(seed), uint64(seed)^streamSalt)
+}

@@ -8,9 +8,17 @@
 // Every harness accepts Options so that the same code can run at "CI
 // scale" (seconds) or "paper scale" (minutes): Scale multiplies frame
 // counts and durations without changing the experimental structure.
+//
+// Harnesses are trial-sharded: each declares its independent trials (one
+// per SNR point, seed, algorithm or topology) as closures and fans them
+// across the worker pool in the engine subpackage. Trials derive their
+// randomness from Options.Seed plus their trial index and aggregate in
+// trial order, so for a fixed seed the output is byte-identical at any
+// Options.Workers setting.
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -24,6 +32,11 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness in the experiment.
 	Seed int64
+	// Workers bounds the engine's trial-level parallelism. Zero or
+	// negative means one worker per CPU. Results are byte-identical at
+	// any worker count: every trial derives its randomness from Seed and
+	// its own trial index, and the engine aggregates in trial order.
+	Workers int
 }
 
 // DefaultOptions returns the CI-scale defaults.
@@ -52,15 +65,15 @@ func (o Options) scaled(n int) int {
 // the paper's prose asserts).
 type Table struct {
 	// ID is the paper artifact this reproduces, e.g. "fig13".
-	ID string
+	ID string `json:"id"`
 	// Title describes the table.
-	Title string
+	Title string `json:"title"`
 	// Header names the columns.
-	Header []string
+	Header []string `json:"header"`
 	// Rows holds the data, already formatted.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes carries shape observations and caveats.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -104,6 +117,32 @@ func (t *Table) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as CSV records. The first field of every
+// record is its type — "table" (ID and title), "header", "row" or
+// "note" — so that several tables can share one stream and downstream
+// tooling can split them back apart without guessing at widths.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"table", t.ID, t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(append([]string{"header"}, t.Header...)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{"row"}, row...)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"note", n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Runner is an experiment entry point.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"softrate/internal/channel"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/phy"
 	"softrate/internal/rate"
 	"softrate/internal/softphy"
@@ -89,9 +90,24 @@ func runFig10(o Options) []*Table {
 		Header: []string{"rel power (dB)", "correct", "collision", "noise", "silent", "accuracy"},
 	}
 	frames := o.scaled(60)
+	rels := []float64{-15, -8, -4, -2, 0}
+	type powerTrial struct {
+		counts [4]int
+		acc    float64
+		fp     float64
+	}
+	// One trial per interferer power, plus a final trial measuring the
+	// false-positive rate on an interference-free fading channel.
+	res := engine.Map(o.Workers, len(rels)+1, func(i int) powerTrial {
+		if i == len(rels) {
+			return powerTrial{fp: falsePositiveRate(o)}
+		}
+		counts, acc := runInterferenceTrial(o, rels[i], 3, frames, o.Seed+int64(rels[i]*13))
+		return powerTrial{counts: counts, acc: acc}
+	})
 	okAll := true
-	for _, rel := range []float64{-15, -8, -4, -2, 0} {
-		counts, acc := runInterferenceTrial(o, rel, 3, frames, o.Seed+int64(rel*13))
+	for i, rel := range rels {
+		counts, acc := res[i].counts, res[i].acc
 		total := float64(counts[0] + counts[1] + counts[2] + counts[3])
 		out.AddRow(fmt.Sprintf("%.0f", rel),
 			fmtPct(float64(counts[outCorrect])/total),
@@ -106,8 +122,7 @@ func runFig10(o Options) []*Table {
 	out.AddNote("paper: accuracy always above 80%% of errored receptions; all-powers-above-80%% holds here: %v", okAll)
 
 	// False positives: fading-only channel, no interference.
-	fp := falsePositiveRate(o)
-	out.AddNote("false positive rate on interference-free fading losses: %s (paper: under 1%%)", fmtPct(fp))
+	out.AddNote("false positive rate on interference-free fading losses: %s (paper: under 1%%)", fmtPct(res[len(rels)].fp))
 	return []*Table{out}
 }
 
@@ -151,8 +166,17 @@ func runFig11(o Options) []*Table {
 		Header: []string{"rate", "correct", "collision", "noise", "silent", "accuracy"},
 	}
 	frames := o.scaled(60)
-	for ri := 0; ri < 5; ri++ { // the paper omits QAM16 3/4 (untuned)
+	const nRates = 5 // the paper omits QAM16 3/4 (untuned)
+	type rateTrial struct {
+		counts [4]int
+		acc    float64
+	}
+	res := engine.Map(o.Workers, nRates, func(ri int) rateTrial {
 		counts, acc := runInterferenceTrial(o, -4, ri, frames, o.Seed+int64(ri)*101)
+		return rateTrial{counts, acc}
+	})
+	for ri := 0; ri < nRates; ri++ {
+		counts, acc := res[ri].counts, res[ri].acc
 		total := float64(counts[0] + counts[1] + counts[2] + counts[3])
 		out.AddRow(rate.ByIndex(ri).Name(),
 			fmtPct(float64(counts[outCorrect])/total),

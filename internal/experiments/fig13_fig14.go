@@ -5,6 +5,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/ratectl"
 	"softrate/internal/trace"
@@ -15,20 +16,25 @@ func init() {
 	register("fig14", runFig14)
 }
 
-// walkingLinkTraces generates n forward and n reverse walking-mobility
-// traces (Table 4, "Walking": sender moving away from the receiver at
-// walking speed), all of duration dur.
-func walkingLinkTraces(n int, dur float64, seed int64) (fwd, rev []*trace.LinkTrace) {
-	mk := func(s int64) *trace.LinkTrace {
-		rng := rand.New(rand.NewSource(s))
-		model := channel.NewWalkingModel(rng,
-			channel.LinearTrajectory{StartDist: 2, Speed: 1.2},
-			channel.PathLoss{RefSNRdB: 26, RefDist: 1, Exponent: 2.2})
-		return trace.Generate(trace.GenConfig{Model: model, Duration: dur, Seed: s + 500})
-	}
+// mkWalkingTrace generates one walking-mobility link trace (Table 4,
+// "Walking": sender moving away from the receiver at walking speed).
+func mkWalkingTrace(s int64, dur float64) *trace.LinkTrace {
+	rng := rand.New(rand.NewSource(s))
+	model := channel.NewWalkingModel(rng,
+		channel.LinearTrajectory{StartDist: 2, Speed: 1.2},
+		channel.PathLoss{RefSNRdB: 26, RefDist: 1, Exponent: 2.2})
+	return trace.Generate(trace.GenConfig{Model: model, Duration: dur, Seed: s + 500})
+}
+
+// walkingLinkTraces generates n forward and n reverse walking traces of
+// duration dur, one engine trial per trace.
+func walkingLinkTraces(workers, n int, dur float64, seed int64) (fwd, rev []*trace.LinkTrace) {
+	traces := engine.Map(workers, 2*n, func(k int) *trace.LinkTrace {
+		return mkWalkingTrace(seed+int64(k), dur)
+	})
 	for i := 0; i < n; i++ {
-		fwd = append(fwd, mk(seed+int64(2*i)))
-		rev = append(rev, mk(seed+int64(2*i+1)))
+		fwd = append(fwd, traces[2*i])
+		rev = append(rev, traces[2*i+1])
 	}
 	return fwd, rev
 }
@@ -79,11 +85,20 @@ func runFig13(o Options) []*Table {
 	}
 	maxN := 5
 	// Average over independent trace sets (the paper's ten walking runs
-	// play the same variance-damping role).
+	// play the same variance-damping role). Stage 1: every trace is an
+	// independent generation trial.
 	const reps = 3
+	allTraces := engine.Map(o.Workers, reps*2*maxN, func(t int) *trace.LinkTrace {
+		r, k := t/(2*maxN), t%(2*maxN)
+		return mkWalkingTrace(o.Seed+int64(1000*r)+int64(k), dur)
+	})
 	var fwd, rev [][]*trace.LinkTrace
 	for r := 0; r < reps; r++ {
-		f, b := walkingLinkTraces(maxN, dur, o.Seed+int64(1000*r))
+		var f, b []*trace.LinkTrace
+		for i := 0; i < maxN; i++ {
+			f = append(f, allTraces[r*2*maxN+2*i])
+			b = append(b, allTraces[r*2*maxN+2*i+1])
+		}
 		fwd = append(fwd, f)
 		rev = append(rev, b)
 	}
@@ -93,17 +108,32 @@ func runFig13(o Options) []*Table {
 		Title:  "Aggregate TCP throughput (Mbps) vs number of clients, slow-fading mobile channel",
 		Header: []string{"algorithm", "N=1", "N=2", "N=3", "N=4", "N=5"},
 	}
+	// Stage 2: one trial per (algorithm, client count, repetition); the
+	// traces are shared read-only across trials.
+	algs := algorithmFactories()
+	type runKey struct{ a, n, r int }
+	var keys []runKey
+	for a := range algs {
+		for n := 1; n <= maxN; n++ {
+			for r := 0; r < reps; r++ {
+				keys = append(keys, runKey{a, n, r})
+			}
+		}
+	}
+	bps := engine.Map(o.Workers, len(keys), func(i int) float64 {
+		k := keys[i]
+		cfg := netsim.DefaultConfig()
+		cfg.Duration = dur
+		cfg.Seed = o.Seed + int64(k.n+10*k.r)
+		return netsim.RunUplink(cfg, fwd[k.r][:k.n], rev[k.r][:k.n], algs[k.a].factory).AggregateBps
+	})
 	results := map[string][]float64{}
-	for _, alg := range algorithmFactories() {
+	for ai, alg := range algs {
 		row := []string{alg.name}
 		for n := 1; n <= maxN; n++ {
 			var sum float64
 			for r := 0; r < reps; r++ {
-				cfg := netsim.DefaultConfig()
-				cfg.Duration = dur
-				cfg.Seed = o.Seed + int64(n+10*r)
-				res := netsim.RunUplink(cfg, fwd[r][:n], rev[r][:n], alg.factory)
-				sum += res.AggregateBps
+				sum += bps[(ai*maxN+(n-1))*reps+r]
 			}
 			meanBps := sum / reps
 			row = append(row, fmtMbps(meanBps))
@@ -141,34 +171,45 @@ func runFig14(o Options) []*Table {
 	if dur < 2 {
 		dur = 2
 	}
-	fwd, rev := walkingLinkTraces(1, dur, o.Seed+9000)
+	fwd, rev := walkingLinkTraces(o.Workers, 1, dur, o.Seed+9000)
 	out := &Table{
 		ID:     "fig14",
 		Title:  "Rate selection accuracy, one TCP flow, slow-fading mobile channel",
 		Header: []string{"algorithm", "underselect", "accurate", "overselect"},
 	}
 	type acc struct{ under, ok, over float64 }
-	accs := map[string]acc{}
+	// One trial per algorithm; Omniscient is skipped (trivially accurate).
+	var algs []struct {
+		name    string
+		factory netsim.AdapterFactory
+	}
 	for _, alg := range algorithmFactories() {
-		if alg.name == "Omniscient" {
-			continue // trivially accurate
+		if alg.name != "Omniscient" {
+			algs = append(algs, alg)
 		}
+	}
+	counts := engine.Map(o.Workers, len(algs), func(i int) [3]int {
 		cfg := netsim.DefaultConfig()
 		cfg.Duration = dur
 		cfg.Seed = o.Seed + 17
 		cfg.RecordTx = true
-		res := netsim.RunUplink(cfg, fwd, rev, alg.factory)
-		var under, ok, over int
+		res := netsim.RunUplink(cfg, fwd, rev, algs[i].factory)
+		var c [3]int
 		for _, r := range res.ClientStats[0].Records {
 			switch {
 			case r.RateIndex < r.OracleIndex:
-				under++
+				c[0]++
 			case r.RateIndex == r.OracleIndex:
-				ok++
+				c[1]++
 			default:
-				over++
+				c[2]++
 			}
 		}
+		return c
+	})
+	accs := map[string]acc{}
+	for i, alg := range algs {
+		under, ok, over := counts[i][0], counts[i][1], counts[i][2]
 		total := float64(under + ok + over)
 		if total == 0 {
 			continue

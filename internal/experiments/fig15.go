@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"softrate/internal/experiments/engine"
 	"softrate/internal/mac"
 	"softrate/internal/ratectl"
 	"softrate/internal/sim"
@@ -112,10 +113,15 @@ func convergenceTime(recs []mac.TxRecord, switchT float64, wantRate int) float64
 func runFig15(o Options) []*Table {
 	dur := 6.0
 	lossless := losslessAirtimes()
-	rraa := ratectl.NewRRAA(rateSet(), lossless, false)
-	srate := ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(o.Seed)))
-	recsR := rateTimeline(rraa, dur, o.Seed+1)
-	recsS := rateTimeline(srate, dur, o.Seed+2)
+	// One trial per algorithm timeline; adapters are stateful, so each
+	// trial constructs its own.
+	timelines := engine.Map(o.Workers, 2, func(i int) []mac.TxRecord {
+		if i == 0 {
+			return rateTimeline(ratectl.NewRRAA(rateSet(), lossless, false), dur, o.Seed+1)
+		}
+		return rateTimeline(ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(o.Seed))), dur, o.Seed+2)
+	})
+	recsR, recsS := timelines[0], timelines[1]
 
 	timeline := &Table{
 		ID:     "fig15",

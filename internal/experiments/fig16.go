@@ -6,6 +6,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/ratectl"
 	"softrate/internal/trace"
@@ -39,7 +40,7 @@ func runFig16(o Options) []*Table {
 		dur = 2
 	}
 	// Train the SNR protocol on a walking-speed channel, as in §6.3.
-	walkFwd, _ := walkingLinkTraces(1, dur, o.Seed+333)
+	walkFwd, _ := walkingLinkTraces(o.Workers, 1, dur, o.Seed+333)
 	walkTrained := ratectl.TrainThresholds(walkFwd[0].TrainingSamples(), walkFwd[0].NumRates(), 0.9)
 
 	out := &Table{
@@ -48,41 +49,54 @@ func runFig16(o Options) []*Table {
 		Header: []string{"coherence", "SoftRate", "SNR (untrained)", "RRAA", "SampleRate"},
 	}
 	lossless := losslessAirtimes()
-	worstSNRGap := 1.0
-	for _, tc := range []float64{1e-3, 500e-6, 200e-6, 100e-6} {
-		// Average over independent trace pairs to damp TCP variance.
-		const reps = 2
-		var pairs [][2]*trace.LinkTrace
-		for r := 0; r < reps; r++ {
-			f, b := fastFadingTraces(tc, dur, o.Seed+int64(tc*1e7)+int64(777*r))
-			pairs = append(pairs, [2]*trace.LinkTrace{f, b})
-		}
-		run := func(factory netsim.AdapterFactory) float64 {
-			var sum float64
-			for r := 0; r < reps; r++ {
-				cfg := netsim.DefaultConfig()
-				cfg.Duration = dur
-				cfg.Seed = o.Seed + 71 + int64(r)
-				res := netsim.RunUplink(cfg, []*trace.LinkTrace{pairs[r][0]}, []*trace.LinkTrace{pairs[r][1]}, factory)
-				sum += res.AggregateBps
-			}
-			return sum / reps
-		}
-		omni := run(func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+	coherences := []float64{1e-3, 500e-6, 200e-6, 100e-6}
+	// Average over independent trace pairs to damp TCP variance. Stage 1:
+	// one generation trial per (coherence, repetition) trace pair.
+	const reps = 2
+	pairSets := engine.Map(o.Workers, len(coherences)*reps, func(t int) [2]*trace.LinkTrace {
+		tc, r := coherences[t/reps], t%reps
+		f, b := fastFadingTraces(tc, dur, o.Seed+int64(tc*1e7)+int64(777*r))
+		return [2]*trace.LinkTrace{f, b}
+	})
+	algs := []struct {
+		name    string
+		factory netsim.AdapterFactory
+	}{
+		{"Omniscient", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
 			return &ratectl.Omniscient{Oracle: f.BestRateAt}
-		})
-		soft := run(func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		}},
+		{"SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
 			return ratectl.NewSoftRate(core.DefaultConfig())
-		})
-		snr := run(func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		}},
+		{"SNR (untrained)", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
 			return ratectl.NewSNRBased(walkTrained, "SNR (untrained)")
-		})
-		rraa := run(func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		}},
+		{"RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
 			return ratectl.NewRRAA(rateSet(), lossless, false)
-		})
-		srate := run(func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		}},
+		{"SampleRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
 			return ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63())))
-		})
+		}},
+	}
+	// Stage 2: one trial per (coherence, algorithm), each averaging its
+	// repetitions in order so float accumulation is stable.
+	means := engine.Map(o.Workers, len(coherences)*len(algs), func(t int) float64 {
+		ci, ai := t/len(algs), t%len(algs)
+		var sum float64
+		for r := 0; r < reps; r++ {
+			cfg := netsim.DefaultConfig()
+			cfg.Duration = dur
+			cfg.Seed = o.Seed + 71 + int64(r)
+			pair := pairSets[ci*reps+r]
+			res := netsim.RunUplink(cfg, []*trace.LinkTrace{pair[0]}, []*trace.LinkTrace{pair[1]}, algs[ai].factory)
+			sum += res.AggregateBps
+		}
+		return sum / reps
+	})
+	worstSNRGap := 1.0
+	for ci, tc := range coherences {
+		at := func(ai int) float64 { return means[ci*len(algs)+ai] }
+		omni, soft, snr, rraa, srate := at(0), at(1), at(2), at(3), at(4)
 		norm := func(x float64) string {
 			if omni <= 0 {
 				return "-"

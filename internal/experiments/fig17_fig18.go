@@ -6,6 +6,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/ratectl"
 	"softrate/internal/trace"
@@ -18,18 +19,18 @@ func init() {
 
 // staticShortRangeTraces builds static, high-quality link traces (Table 4,
 // "Static (short range)"): using a static channel isolates interference
-// effects from mobility adaptation (§6.4).
-func staticShortRangeTraces(n int, dur float64, seed int64) (fwd, rev []*trace.LinkTrace) {
-	mk := func(s int64) *trace.LinkTrace {
+// effects from mobility adaptation (§6.4). One engine trial per trace.
+func staticShortRangeTraces(workers, n int, dur float64, seed int64) (fwd, rev []*trace.LinkTrace) {
+	traces := engine.Map(workers, 2*n, func(k int) *trace.LinkTrace {
 		return trace.Generate(trace.GenConfig{
 			Model:    channel.NewStaticModel(20, nil),
 			Duration: dur,
-			Seed:     s,
+			Seed:     seed + int64(k),
 		})
-	}
+	})
 	for i := 0; i < n; i++ {
-		fwd = append(fwd, mk(seed+int64(2*i)))
-		rev = append(rev, mk(seed+int64(2*i+1)))
+		fwd = append(fwd, traces[2*i])
+		rev = append(rev, traces[2*i+1])
 	}
 	return fwd, rev
 }
@@ -73,26 +74,33 @@ func runFig17(o Options) []*Table {
 		dur = 2
 	}
 	const nClients = 5
-	fwd, rev := staticShortRangeTraces(nClients, dur, o.Seed)
+	fwd, rev := staticShortRangeTraces(o.Workers, nClients, dur, o.Seed)
 
 	out := &Table{
 		ID:     "fig17",
 		Title:  "Aggregate TCP throughput (Mbps) of 5 uplink flows vs carrier sense probability",
 		Header: []string{"Pr[CS]", "SoftRate (Ideal)", "SoftRate", "RRAA", "SampleRate"},
 	}
+	// One trial per (carrier-sense probability, algorithm) cell.
+	css := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	algs := interferenceAlgorithms()
+	bps := engine.Map(o.Workers, len(css)*len(algs), func(t int) float64 {
+		cs, alg := css[t/len(algs)], algs[t%len(algs)]
+		cfg := netsim.DefaultConfig()
+		cfg.Duration = dur
+		cfg.Seed = o.Seed + int64(cs*100)
+		cfg.CSProb = cs
+		cfg.MAC.Postamble = alg.postamble
+		cfg.MAC.InterferenceDetectionProb = alg.detectP
+		return netsim.RunUplink(cfg, fwd, rev, alg.factory).AggregateBps
+	})
 	results := map[string][]float64{}
-	for _, cs := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+	for ci, cs := range css {
 		row := []string{fmt.Sprintf("%.1f", cs)}
-		for _, alg := range interferenceAlgorithms() {
-			cfg := netsim.DefaultConfig()
-			cfg.Duration = dur
-			cfg.Seed = o.Seed + int64(cs*100)
-			cfg.CSProb = cs
-			cfg.MAC.Postamble = alg.postamble
-			cfg.MAC.InterferenceDetectionProb = alg.detectP
-			res := netsim.RunUplink(cfg, fwd, rev, alg.factory)
-			row = append(row, fmtMbps(res.AggregateBps))
-			results[alg.name] = append(results[alg.name], res.AggregateBps)
+		for ai, alg := range algs {
+			v := bps[ci*len(algs)+ai]
+			row = append(row, fmtMbps(v))
+			results[alg.name] = append(results[alg.name], v)
 		}
 		out.AddRow(row...)
 	}
@@ -114,13 +122,16 @@ func runFig18(o Options) []*Table {
 		dur = 2
 	}
 	const nClients = 5
-	fwd, rev := staticShortRangeTraces(nClients, dur, o.Seed+400)
+	fwd, rev := staticShortRangeTraces(o.Workers, nClients, dur, o.Seed+400)
 	out := &Table{
 		ID:     "fig18",
 		Title:  "Rate selection accuracy (Pr[carrier sense] = 0.8)",
 		Header: []string{"algorithm", "underselect", "accurate", "overselect"},
 	}
-	for _, alg := range interferenceAlgorithms() {
+	// One trial per algorithm, counting (under, accurate, over) picks.
+	algs := interferenceAlgorithms()
+	counts := engine.Map(o.Workers, len(algs), func(i int) [3]int {
+		alg := algs[i]
 		cfg := netsim.DefaultConfig()
 		cfg.Duration = dur
 		cfg.Seed = o.Seed + 41
@@ -129,19 +140,23 @@ func runFig18(o Options) []*Table {
 		cfg.MAC.Postamble = alg.postamble
 		cfg.MAC.InterferenceDetectionProb = alg.detectP
 		res := netsim.RunUplink(cfg, fwd, rev, alg.factory)
-		var under, ok, over int
+		var c [3]int
 		for _, st := range res.ClientStats {
 			for _, r := range st.Records {
 				switch {
 				case r.RateIndex < r.OracleIndex:
-					under++
+					c[0]++
 				case r.RateIndex == r.OracleIndex:
-					ok++
+					c[1]++
 				default:
-					over++
+					c[2]++
 				}
 			}
 		}
+		return c
+	})
+	for i, alg := range algs {
+		under, ok, over := counts[i][0], counts[i][1], counts[i][2]
 		total := float64(under + ok + over)
 		if total == 0 {
 			continue

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"softrate/internal/channel"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/ofdm"
 	"softrate/internal/phy"
 	"softrate/internal/rate"
@@ -23,59 +24,65 @@ func runFig1(o Options) []*Table {
 	rng := rand.New(rand.NewSource(o.Seed))
 	// Parameters chosen so the 10 s window spans roughly the ~20 dB of
 	// combined large-scale attenuation and fading the paper's Figure 1
-	// shows.
+	// shows. The model is pure in t after construction, so the coarse and
+	// detail windows are two trials sharing it read-only.
 	model := channel.NewWalkingModel(rng,
 		channel.LinearTrajectory{StartDist: 3, Speed: 1.0},
 		channel.PathLoss{RefSNRdB: 30, RefDist: 1, Exponent: 2.0})
 	m := phy.DefaultBERModel
 
-	coarse := &Table{
-		ID:     "fig1",
-		Title:  "SNR and BPSK-1/2 BER over a walking-speed fading channel (10 s window, 100 ms sampling)",
-		Header: []string{"t(s)", "SNR(dB)", "BER@BPSK1/2"},
-	}
-	var minSNR, maxSNR float64 = 1e9, -1e9
-	for ti := 0; ti < 100; ti++ {
-		t := float64(ti) * 0.1
-		snr := channel.LinearToDB(model.SNR(t))
-		if snr < minSNR {
-			minSNR = snr
-		}
-		if snr > maxSNR {
-			maxSNR = snr
-		}
-		coarse.AddRow(fmt.Sprintf("%.1f", t), fmt.Sprintf("%+.1f", snr), fmtBER(m.BERAt(0, snr)))
-	}
-	coarse.AddNote("large-scale fading: SNR spans %.1f dB over the window (paper shows ~20 dB swings)", maxSNR-minSNR)
-
-	detail := &Table{
-		ID:     "fig1-detail",
-		Title:  "350 ms detail (5 ms sampling): fades tens of milliseconds long",
-		Header: []string{"t(ms)", "SNR(dB)", "BER@BPSK1/2"},
-	}
-	// Count fade dips below the window median to show tens-of-ms fades.
-	var vals []float64
-	for ti := 0; ti < 70; ti++ {
-		t := 3.0 + float64(ti)*0.005
-		snr := channel.LinearToDB(model.SNR(t))
-		vals = append(vals, snr)
-		detail.AddRow(fmt.Sprintf("%.0f", (t-3.0)*1e3), fmt.Sprintf("%+.1f", snr), fmtBER(m.BERAt(0, snr)))
-	}
-	med := median(vals)
-	fades := 0
-	inFade := false
-	for _, v := range vals {
-		if v < med-6 {
-			if !inFade {
-				fades++
-				inFade = true
+	tables := engine.Map(o.Workers, 2, func(i int) *Table {
+		if i == 0 {
+			coarse := &Table{
+				ID:     "fig1",
+				Title:  "SNR and BPSK-1/2 BER over a walking-speed fading channel (10 s window, 100 ms sampling)",
+				Header: []string{"t(s)", "SNR(dB)", "BER@BPSK1/2"},
 			}
-		} else {
-			inFade = false
+			var minSNR, maxSNR float64 = 1e9, -1e9
+			for ti := 0; ti < 100; ti++ {
+				t := float64(ti) * 0.1
+				snr := channel.LinearToDB(model.SNR(t))
+				if snr < minSNR {
+					minSNR = snr
+				}
+				if snr > maxSNR {
+					maxSNR = snr
+				}
+				coarse.AddRow(fmt.Sprintf("%.1f", t), fmt.Sprintf("%+.1f", snr), fmtBER(m.BERAt(0, snr)))
+			}
+			coarse.AddNote("large-scale fading: SNR spans %.1f dB over the window (paper shows ~20 dB swings)", maxSNR-minSNR)
+			return coarse
 		}
-	}
-	detail.AddNote("%d deep fades (>6 dB below median) in 350 ms — tens-of-ms fade durations, as in the paper", fades)
-	return []*Table{coarse, detail}
+		detail := &Table{
+			ID:     "fig1-detail",
+			Title:  "350 ms detail (5 ms sampling): fades tens of milliseconds long",
+			Header: []string{"t(ms)", "SNR(dB)", "BER@BPSK1/2"},
+		}
+		// Count fade dips below the window median to show tens-of-ms fades.
+		var vals []float64
+		for ti := 0; ti < 70; ti++ {
+			t := 3.0 + float64(ti)*0.005
+			snr := channel.LinearToDB(model.SNR(t))
+			vals = append(vals, snr)
+			detail.AddRow(fmt.Sprintf("%.0f", (t-3.0)*1e3), fmt.Sprintf("%+.1f", snr), fmtBER(m.BERAt(0, snr)))
+		}
+		med := median(vals)
+		fades := 0
+		inFade := false
+		for _, v := range vals {
+			if v < med-6 {
+				if !inFade {
+					fades++
+					inFade = true
+				}
+			} else {
+				inFade = false
+			}
+		}
+		detail.AddNote("%d deep fades (>6 dB below median) in 350 ms — tens-of-ms fade durations, as in the paper", fades)
+		return detail
+	})
+	return tables
 }
 
 func median(v []float64) float64 {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"softrate/internal/channel"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/phy"
 	"softrate/internal/rate"
 	"softrate/internal/softphy"
@@ -23,38 +24,47 @@ func init() {
 // through the real PHY chain.
 func runFig3(o Options) []*Table {
 	cfg := phy.DefaultConfig()
-	rng := rand.New(rand.NewSource(o.Seed))
 
-	mkFrame := func() phy.Frame {
+	mkFrame := func(rng *rand.Rand) phy.Frame {
 		payload := make([]byte, 480)
 		rng.Read(payload)
 		return phy.Frame{Header: []byte{1, 2, 3, 4}, Payload: payload, Rate: rate.ByIndex(3)}
 	}
 
-	// Collision case: strong static channel, an interferer 2 dB below the
-	// sender covering the middle of the frame.
-	colLink := &phy.Link{Cfg: cfg, Model: channel.NewStaticModel(17, nil), Rng: rand.New(rand.NewSource(o.Seed + 1))}
-	colTx := phy.Transmit(cfg, mkFrame())
-	T := cfg.Mode.SymbolTime()
-	n := colTx.NumSymbols()
-	burst := phy.Burst{Start: float64(n) * T * 0.45, End: float64(n) * T * 0.75, Power: channel.DBToLinear(15)}
-	colRx := colLink.Deliver(colTx, 0, []phy.Burst{burst})
-
-	// Fading case: marginal mean SNR over a walking-speed channel; pick a
-	// frame that actually had errors.
-	var fadeRx *phy.Reception
-	fadeLink := &phy.Link{
-		Cfg:   cfg,
-		Model: channel.NewStaticModel(10, channel.NewRayleigh(rand.New(rand.NewSource(o.Seed+2)), 40, 0)),
-		Rng:   rand.New(rand.NewSource(o.Seed + 3)),
-	}
-	for i := 0; i < 200; i++ {
-		rx := fadeLink.Deliver(phy.Transmit(cfg, mkFrame()), float64(i)*0.021, nil)
-		if rx.Detected && rx.BitErrors > 5 {
-			fadeRx = rx
-			break
+	// Two trials: the collision loss and the fading loss.
+	receptions := engine.Map(o.Workers, 2, func(i int) *phy.Reception {
+		if i == 0 {
+			// Collision case: strong static channel, an interferer 2 dB
+			// below the sender covering the middle of the frame.
+			colLink := &phy.Link{Cfg: cfg, Model: channel.NewStaticModel(17, nil), Rng: rand.New(rand.NewSource(o.Seed + 1))}
+			colTx := phy.Transmit(cfg, mkFrame(rand.New(rand.NewSource(o.Seed))))
+			T := cfg.Mode.SymbolTime()
+			n := colTx.NumSymbols()
+			burst := phy.Burst{Start: float64(n) * T * 0.45, End: float64(n) * T * 0.75, Power: channel.DBToLinear(15)}
+			return colLink.Deliver(colTx, 0, []phy.Burst{burst})
 		}
-	}
+		// Fading case: marginal mean SNR over a walking-speed channel;
+		// pick a frame that actually had errors.
+		fadeLink := &phy.Link{
+			Cfg:   cfg,
+			Model: channel.NewStaticModel(10, channel.NewRayleigh(rand.New(rand.NewSource(o.Seed+2)), 40, 0)),
+			Rng:   rand.New(rand.NewSource(o.Seed + 3)),
+		}
+		// The two trials used to draw payloads from one shared stream,
+		// collision frame first; skipping that frame's bytes keeps this
+		// trial's frames (and hence which fade is displayed) identical to
+		// the serial harness while letting the trials run concurrently.
+		payloadRng := rand.New(rand.NewSource(o.Seed))
+		payloadRng.Read(make([]byte, 480))
+		for f := 0; f < 200; f++ {
+			rx := fadeLink.Deliver(phy.Transmit(cfg, mkFrame(payloadRng)), float64(f)*0.021, nil)
+			if rx.Detected && rx.BitErrors > 5 {
+				return rx
+			}
+		}
+		return nil
+	})
+	colRx, fadeRx := receptions[0], receptions[1]
 
 	out := &Table{
 		ID:     "fig3",
@@ -120,18 +130,21 @@ func countTrue(bs []bool) int {
 // BER-prediction observations of §3.3 (monotonicity and order-of-magnitude
 // spacing).
 func runFig5(o Options) []*Table {
-	rng := rand.New(rand.NewSource(o.Seed))
-	model := channel.NewStaticModel(14, channel.NewRayleigh(rng, 40, 0))
-	// Small probe frames, as in the paper's round-robin trace collection:
-	// a 1400-byte BPSK frame lasts ~1.3 ms and would straddle fades that
-	// a 0.4 ms QPSK-3/4 frame misses, corrupting the cross-rate
-	// comparison.
-	lt := trace.Generate(trace.GenConfig{
-		Model:        model,
-		Duration:     float64(o.scaled(40)) * 0.25, // default 10 s at scale 1
-		PayloadBytes: 100,
-		Seed:         o.Seed + 1,
-	})
+	// The whole figure hangs off one trace generation: a single trial.
+	lt := engine.Map(o.Workers, 1, func(int) *trace.LinkTrace {
+		rng := rand.New(rand.NewSource(o.Seed))
+		model := channel.NewStaticModel(14, channel.NewRayleigh(rng, 40, 0))
+		// Small probe frames, as in the paper's round-robin trace
+		// collection: a 1400-byte BPSK frame lasts ~1.3 ms and would
+		// straddle fades that a 0.4 ms QPSK-3/4 frame misses, corrupting
+		// the cross-rate comparison.
+		return trace.Generate(trace.GenConfig{
+			Model:        model,
+			Duration:     float64(o.scaled(40)) * 0.25, // default 10 s at scale 1
+			PayloadBytes: 100,
+			Seed:         o.Seed + 1,
+		})
+	})[0]
 
 	ref := 3                    // QPSK 3/4
 	others := []int{0, 2, 4, 5} // BPSK 1/2, QPSK 1/2, QAM16 1/2, QAM16 3/4

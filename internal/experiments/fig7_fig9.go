@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"softrate/internal/channel"
+	"softrate/internal/experiments/engine"
 	"softrate/internal/phy"
 	"softrate/internal/rate"
 	"softrate/internal/softphy"
@@ -65,12 +66,16 @@ func collectFrames(cfg phy.Config, model *channel.Model, rates []rate.Rate, fram
 func runFig7(o Options) []*Table {
 	cfg := phy.DefaultConfig()
 	framesPerPoint := o.scaled(8)
-	// "20 different transmit powers": a mean-SNR sweep.
+	// "20 different transmit powers": a mean-SNR sweep, one trial per
+	// transmit power.
+	snrs := snrSweep(1, 21, 20)
+	perPoint := engine.Map(o.Workers, len(snrs), func(i int) []frameSample {
+		model := channel.NewStaticModel(snrs[i], nil)
+		return collectFrames(cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31)
+	})
 	var samples []frameSample
-	for i, snr := range snrSweep(1, 21, 20) {
-		model := channel.NewStaticModel(snr, nil)
-		samples = append(samples,
-			collectFrames(cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31)...)
+	for _, p := range perPoint {
+		samples = append(samples, p...)
 	}
 
 	// (a) Per-frame: bin by estimated BER (0.1-decade bins like the
@@ -193,8 +198,14 @@ func runFig8(o Options) []*Table {
 		}
 		return stats.LogBin(xs, ys, 1.0)
 	}
-	walk := collect(40, o.Seed)
-	veh := collect(400, o.Seed+100)
+	mobilities := []struct {
+		doppler float64
+		seed    int64
+	}{{40, o.Seed}, {400, o.Seed + 100}}
+	binsets := engine.Map(o.Workers, len(mobilities), func(i int) []stats.Bin {
+		return collect(mobilities[i].doppler, mobilities[i].seed)
+	})
+	walk, veh := binsets[0], binsets[1]
 	idx := map[float64][2]*stats.Bin{}
 	for i := range walk {
 		v := idx[walk[i].Center]
@@ -260,8 +271,14 @@ func runFig9(o Options) []*Table {
 		}
 		return stats.LinBin(xs, ys, 2)
 	}
-	walk := collect(40, o.Seed+200)
-	veh := collect(400, o.Seed+300)
+	mobilities := []struct {
+		doppler float64
+		seed    int64
+	}{{40, o.Seed + 200}, {400, o.Seed + 300}}
+	binsets := engine.Map(o.Workers, len(mobilities), func(i int) []stats.Bin {
+		return collect(mobilities[i].doppler, mobilities[i].seed)
+	})
+	walk, veh := binsets[0], binsets[1]
 	type pair struct{ w, v *stats.Bin }
 	idx := map[float64]*pair{}
 	for i := range walk {
