@@ -1,0 +1,370 @@
+// Command softrate-loadgen replays link traces against the softrated
+// decision service and reports sustained decision throughput, latency
+// quantiles and store churn. It is the closed adaptation loop at scale:
+// per link it walks a trace.FrameIter (decide → transmit → observe), feeds
+// the observed outcome back, and uses the server's answer as the next
+// frame's rate.
+//
+// Usage:
+//
+//	softrate-loadgen -clients 4 -links 10000 -duration 10s          # in-process server
+//	softrate-loadgen -addr 127.0.0.1:7447 -clients 8 -links 100000  # against softrated
+//	softrate-loadgen -mix hidden -verify                            # hidden-terminal mix + determinism check
+//
+// With -verify every decision is checked byte-for-byte against a bare
+// per-link core.SoftRate controller fed the identical feedback sequence —
+// the acceptance property of the decision service, including across TTL
+// evictions (archived state makes them transparent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softrate/internal/channel"
+	"softrate/internal/core"
+	"softrate/internal/linkstore"
+	"softrate/internal/server"
+	"softrate/internal/stats"
+	"softrate/internal/trace"
+)
+
+type options struct {
+	addr     string
+	clients  int
+	links    int
+	duration time.Duration
+	batch    int
+	mix      string
+	shards   int
+	ttl      time.Duration
+	idleFrac float64
+	seed     int64
+	verify   bool
+	minRate  float64
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.addr, "addr", "", "softrated TCP address; empty runs an in-process server")
+	flag.IntVar(&opt.clients, "clients", 4, "concurrent load-generating clients")
+	flag.IntVar(&opt.links, "links", 10000, "concurrent links across all clients")
+	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "run length")
+	flag.IntVar(&opt.batch, "batch", 128, "feedback records per request batch")
+	flag.StringVar(&opt.mix, "mix", "mobile", "workload mix: clean | mobile | hidden")
+	flag.IntVar(&opt.shards, "shards", 64, "in-process server: link store shards")
+	flag.DurationVar(&opt.ttl, "ttl", 500*time.Millisecond, "in-process server: idle link TTL (0 = never evict)")
+	flag.Float64Var(&opt.idleFrac, "idle-frac", 0.1, "fraction of links that transmit rarely (exercises eviction)")
+	flag.Int64Var(&opt.seed, "seed", 1, "base PRNG seed (trace generation and replay)")
+	flag.BoolVar(&opt.verify, "verify", false, "check every decision against a bare per-link controller (with -addr the server must be fresh: reused link IDs carry state from earlier runs)")
+	flag.Float64Var(&opt.minRate, "min-rate", 0, "fail unless this many decisions/sec are sustained")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	flag.Parse()
+
+	if opt.clients < 1 || opt.links < opt.clients || opt.batch < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: need clients >= 1, links >= clients, batch >= 1")
+		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(opt); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// decider abstracts the two transports.
+type decider interface {
+	Decide(ops []linkstore.Op, out []int32) ([]int32, error)
+}
+
+type inProcess struct{ srv *server.Server }
+
+func (p inProcess) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
+	return p.srv.Decide(ops, out), nil
+}
+
+type tcpDecider struct{ cli *server.Client }
+
+func (t tcpDecider) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
+	return t.cli.Decide(ops, out)
+}
+
+// link is one replayed sender.
+type link struct {
+	id   uint64
+	iter *trace.FrameIter
+	rate int32
+	bare *core.SoftRate
+
+	// Bursty links send one frame, then stay silent for idleGap — long
+	// enough to cross the server's TTL, so they exercise eviction and
+	// transparent restoration. Zero means always active.
+	idleGap time.Duration
+	nextAt  time.Time
+}
+
+type clientResult struct {
+	decisions uint64
+	mismatch  string
+	err       error
+	lat       stats.Histogram
+}
+
+func run(opt options) error {
+	mix, err := mixFor(opt.mix)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: generating traces (mix=%s)...\n", opt.mix)
+	traces := makeTraces(opt)
+
+	var srv *server.Server
+	transport := "tcp:" + opt.addr
+	if opt.addr == "" {
+		srv = server.New(server.Config{Store: linkstore.Config{
+			Shards: opt.shards,
+			TTL:    opt.ttl,
+		}})
+		transport = "in-process"
+	}
+
+	// Partition links across clients.
+	clients := make([][]*link, opt.clients)
+	idleGap := 2 * opt.ttl
+	if idleGap <= 0 {
+		idleGap = time.Second
+	}
+	for i := 0; i < opt.links; i++ {
+		lt := traces[i%len(traces)]
+		l := &link{
+			id:   uint64(i) + 1,
+			iter: lt.FramesMix(opt.seed+int64(i)*7919, mix),
+		}
+		if float64(i) < opt.idleFrac*float64(opt.links) {
+			l.idleGap = idleGap
+		}
+		if opt.verify {
+			l.bare = core.New(core.DefaultConfig())
+		}
+		clients[i%opt.clients] = append(clients[i%opt.clients], l)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d clients x ~%d links, batch %d, %v via %s\n",
+		opt.clients, opt.links/opt.clients, opt.batch, opt.duration, transport)
+	if opt.verify && srv == nil {
+		fmt.Fprintln(os.Stderr, "loadgen: note: -verify against a remote server assumes link IDs 1..links are fresh; a server that already served them will (correctly) report mismatches")
+	}
+
+	var stop atomic.Bool
+	time.AfterFunc(opt.duration, func() { stop.Store(true) })
+
+	results := make([]clientResult, opt.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var d decider
+			if srv != nil {
+				d = inProcess{srv}
+			} else {
+				cli, err := server.Dial(opt.addr)
+				if err != nil {
+					results[c].err = err
+					return
+				}
+				defer cli.Close()
+				d = tcpDecider{cli}
+			}
+			results[c] = drive(d, clients[c], opt, &stop)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total uint64
+	var lat stats.Histogram
+	for c := range results {
+		if results[c].err != nil {
+			return results[c].err
+		}
+		if results[c].mismatch != "" {
+			return fmt.Errorf("determinism violation: %s", results[c].mismatch)
+		}
+		total += results[c].decisions
+		lat.Merge(&results[c].lat)
+	}
+
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Printf("decisions: %d in %.1fs = %.0f decisions/sec\n", total, elapsed.Seconds(), rate)
+	fmt.Printf("latency per batch of %d: p50=%v p99=%v max=%v\n",
+		opt.batch, lat.Quantile(0.5), lat.Quantile(0.99), lat.Max())
+	if srv != nil {
+		st := srv.Stats()
+		fmt.Printf("store: live=%d archived=%d evictions=%d creates=%d restores=%d\n",
+			st.Store.Live, st.Store.Archived, st.Store.Evictions, st.Store.Creates, st.Store.Restores)
+		fmt.Printf("kinds: ber=%d collision=%d silent=%d postamble=%d\n",
+			st.Kinds[0], st.Kinds[1], st.Kinds[2], st.Kinds[3])
+	} else {
+		fmt.Println("store: n/a (remote server; see softrated -stats)")
+	}
+	if opt.verify {
+		fmt.Printf("verify: %d decisions byte-identical to bare controllers\n", total)
+	}
+	if opt.minRate > 0 && rate < opt.minRate {
+		return fmt.Errorf("sustained %.0f decisions/sec, below the required %.0f", rate, opt.minRate)
+	}
+	return nil
+}
+
+// drive runs one client's replay loop until stop flips.
+func drive(d decider, links []*link, opt options, stop *atomic.Bool) clientResult {
+	var res clientResult
+	ops := make([]linkstore.Op, 0, opt.batch)
+	batch := make([]*link, 0, opt.batch)
+	out := make([]int32, opt.batch)
+	cursor := 0
+	skipped := 0
+	for !stop.Load() {
+		ops = ops[:0]
+		batch = batch[:0]
+		skipped = 0
+		for len(ops) < opt.batch {
+			l := links[cursor]
+			cursor++
+			if cursor == len(links) {
+				cursor = 0
+			}
+			if l.idleGap > 0 {
+				if now := time.Now(); now.Before(l.nextAt) {
+					// All-idle guard: don't spin forever filling a batch
+					// no link is willing to join.
+					if skipped++; skipped > 2*len(links) {
+						break
+					}
+					continue
+				} else {
+					l.nextAt = now.Add(l.idleGap)
+				}
+			}
+			ev, ok := l.iter.Next(int(l.rate))
+			if !ok {
+				if skipped++; skipped > 2*len(links) {
+					break
+				}
+				continue
+			}
+			ops = append(ops, linkstore.Op{
+				LinkID:    l.id,
+				Kind:      ev.Kind,
+				RateIndex: int32(ev.RateIndex),
+				BER:       ev.BER,
+			})
+			batch = append(batch, l)
+		}
+		if len(ops) == 0 {
+			time.Sleep(time.Millisecond) // every link is waiting out its idle gap
+			continue
+		}
+		t0 := time.Now()
+		if _, err := d.Decide(ops, out); err != nil {
+			res.err = err
+			return res
+		}
+		res.lat.Observe(time.Since(t0))
+		res.decisions += uint64(len(ops))
+		for i, l := range batch {
+			l.rate = out[i]
+			if l.bare != nil {
+				want := l.bare.Apply(ops[i].Kind, int(ops[i].RateIndex), ops[i].BER)
+				if int32(want) != out[i] {
+					res.mismatch = fmt.Sprintf("link %d: server decided %d, bare controller %d (op %+v)",
+						l.id, out[i], want, ops[i])
+					return res
+				}
+			}
+		}
+	}
+	return res
+}
+
+func mixFor(name string) (trace.Mix, error) {
+	switch name {
+	case "clean", "mobile":
+		return trace.Mix{}, nil
+	case "hidden":
+		// Table 1 geometry: most collisions leave the preamble intact
+		// (collision-tagged feedback); of the rest, about half are saved
+		// by the postamble.
+		return trace.Mix{CollisionProb: 0.35, PreambleLossProb: 0.15, PostambleProb: 0.5}, nil
+	default:
+		return trace.Mix{}, fmt.Errorf("unknown mix %q (want clean | mobile | hidden)", name)
+	}
+}
+
+// makeTraces builds the shared trace pool for the chosen mix. Links share
+// traces (each with a private seeded start offset), so the pool stays
+// small regardless of -links.
+func makeTraces(opt options) []*trace.LinkTrace {
+	gen := func(model *channel.Model, seed int64) *trace.LinkTrace {
+		return trace.Generate(trace.GenConfig{
+			Model:    model,
+			Duration: 1.0,
+			Seed:     seed,
+		})
+	}
+	rng := rand.New(rand.NewSource(opt.seed))
+	switch opt.mix {
+	case "mobile":
+		return []*trace.LinkTrace{
+			gen(channel.NewWalkingModel(rng,
+				channel.LinearTrajectory{StartDist: 2, Speed: 1.2},
+				channel.PathLoss{RefSNRdB: 26, RefDist: 1, Exponent: 2.2}), opt.seed+1),
+			gen(channel.NewStaticModel(18, channel.NewRayleigh(rng, 40, 0)), opt.seed+2),
+		}
+	case "hidden":
+		return []*trace.LinkTrace{
+			gen(channel.NewStaticModel(22, channel.NewRayleigh(rng, 10, 0)), opt.seed+1),
+		}
+	default: // clean
+		return []*trace.LinkTrace{
+			gen(channel.NewStaticModel(20, nil), opt.seed+1),
+		}
+	}
+}

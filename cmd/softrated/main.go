@@ -1,0 +1,89 @@
+// Command softrated runs the SoftRate decision service over TCP: a
+// sharded store of per-link §3.3 controllers answering batched feedback
+// frames with next-rate decisions (see internal/server for the wire
+// format).
+//
+// Usage:
+//
+//	softrated -addr :7447 -shards 128 -ttl 30s
+//	softrated -addr :7447 -stats 5s        # periodic stats to stderr
+//
+// Drive it with cmd/softrate-loadgen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softrate/internal/linkstore"
+	"softrate/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7447", "TCP listen address")
+		shards      = flag.Int("shards", 64, "lock stripes in the link store (rounded up to a power of two)")
+		ttl         = flag.Duration("ttl", 60*time.Second, "idle TTL before a link is evicted from the hot map (0 = never)")
+		dropOnEvict = flag.Bool("drop-on-evict", false, "discard evicted link state instead of archiving it")
+		statsEvery  = flag.Duration("stats", 0, "print service stats to stderr at this interval (0 = only at exit)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{Store: linkstore.Config{
+		Shards:      *shards,
+		TTL:         *ttl,
+		DropOnEvict: *dropOnEvict,
+	}})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "softrated: listening on %s (%d shards, ttl %v)\n", l.Addr(), *shards, *ttl)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-tick:
+			printStats(srv.Stats())
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "softrated: shutting down")
+			srv.Close()
+			<-done
+			printStats(srv.Stats())
+			return
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+}
+
+func printStats(st server.Stats) {
+	fmt.Fprintf(os.Stderr,
+		"softrated: %d frames in %d batches | kinds ber=%d collision=%d silent=%d postamble=%d | links live=%d archived=%d evictions=%d creates=%d restores=%d\n",
+		st.Frames, st.Batches,
+		st.Kinds[0], st.Kinds[1], st.Kinds[2], st.Kinds[3],
+		st.Store.Live, st.Store.Archived, st.Store.Evictions, st.Store.Creates, st.Store.Restores)
+}

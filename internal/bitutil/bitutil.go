@@ -6,6 +6,18 @@ package bitutil
 
 import "math/rand"
 
+// Mix64 applies the SplitMix64 finalizer (Steele, Lea & Flood: "Fast
+// splittable pseudorandom number generators", OOPSLA 2014): an invertible
+// avalanche mix in which every input bit affects every output bit. It is
+// the shared bit-mixing primitive behind the experiment engine's per-trial
+// seeding and the link store's shard hashing — one source of truth for the
+// constants.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // BytesToBits unpacks a byte slice into one bit per byte (values 0 or 1),
 // most-significant bit first, matching the transmission order used by the
 // PHY encoder.

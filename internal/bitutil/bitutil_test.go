@@ -156,3 +156,33 @@ func TestRandomBitsRange(t *testing.T) {
 		t.Fatalf("RandomBits balance suspicious: %d ones of 1000", ones)
 	}
 }
+
+func TestMix64AvalancheAndStability(t *testing.T) {
+	// Golden values pin the constants: both the experiment engine's trial
+	// seeding and the link store's shard hashing depend on this exact
+	// mapping staying stable across refactors.
+	golden := map[uint64]uint64{
+		0:          0,
+		1:          0x5692161d100b05e5,
+		0xdeadbeef: 0x4e062702ec929eea,
+	}
+	for in, want := range golden {
+		if got := Mix64(in); got != want {
+			t.Fatalf("Mix64(%#x) = %#x, want %#x", in, got, want)
+		}
+	}
+	// Avalanche: flipping one input bit must flip roughly half the output
+	// bits on average.
+	totalFlips := 0
+	const trials = 64
+	for bit := 0; bit < trials; bit++ {
+		d := Mix64(0x123456789abcdef) ^ Mix64(0x123456789abcdef^(1<<bit))
+		for ; d != 0; d &= d - 1 {
+			totalFlips++
+		}
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.1f bits flipped, want ~32", avg)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+)
+
+// feedbackLoad is a mixed, branch-exercising feedback sequence: in-band
+// holds, climbs, multi-level drops, collisions, stale rate indices.
+var feedbackLoad = []Feedback{
+	{RateIndex: 0, BER: 1e-9},
+	{RateIndex: 2, BER: 1e-12},
+	{RateIndex: 4, BER: 3e-6},
+	{RateIndex: 4, BER: 0.2},
+	{RateIndex: 2, BER: 4e-6, Collision: true},
+	{RateIndex: 1, BER: 0},
+	{RateIndex: 3, BER: 5e-5},
+	{RateIndex: -1, BER: 2e-6},
+}
+
+func BenchmarkOnFeedback(b *testing.B) {
+	s := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.OnFeedback(feedbackLoad[i&7])
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	s := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fb := feedbackLoad[i&7]
+		kind := KindBER
+		switch {
+		case fb.Collision:
+			kind = KindCollision
+		case i&15 == 7:
+			kind = KindSilentLoss
+		}
+		s.Apply(kind, fb.RateIndex, fb.BER)
+	}
+}
+
+func TestFeedbackHotPathAllocFree(t *testing.T) {
+	// The decision service applies millions of feedbacks per second; the
+	// hot path must not allocate. AllocsPerRun gives the average across
+	// runs, so any per-call allocation shows up as >= 1.
+	s := New(DefaultConfig())
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.OnFeedback(feedbackLoad[i&7])
+		s.OnSilentLoss()
+		s.Apply(KindPostamble, 0, 0)
+		s.Apply(KindCollision, 3, 0.3)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("feedback hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

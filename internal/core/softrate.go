@@ -135,10 +135,63 @@ type Feedback struct {
 	RateIndex int
 	// BER is the receiver's interference-free BER estimate.
 	BER float64
-	// Collision reports the receiver's interference verdict; it is
-	// informational (the BER is already interference-free) but lets the
-	// sender count collision statistics.
+	// Collision reports the receiver's interference verdict. The BER is
+	// already interference-free, so the threshold rule treats the frame
+	// like any other — but a collision-tagged feedback does not clear the
+	// silent-loss run (see OnFeedback), so the flag does influence the
+	// §3.2 weak-signal rule.
 	Collision bool
+}
+
+// FeedbackKind enumerates the four sender-side outcomes of a transmission
+// (§3.2–§3.3): a clean BER feedback, a collision-tagged BER feedback, no
+// feedback at all, and a postamble-only reception. The values are part of
+// the softrated wire protocol — do not reorder.
+type FeedbackKind uint8
+
+const (
+	// KindBER is an ordinary per-frame BER feedback.
+	KindBER FeedbackKind = iota
+	// KindCollision is a BER feedback the receiver tagged as
+	// interference-damaged (the BER is the excised, interference-free
+	// estimate).
+	KindCollision
+	// KindSilentLoss is a transmission with no feedback of any kind.
+	KindSilentLoss
+	// KindPostamble is a postamble-only reception: the body was lost to a
+	// collision but the receiver proved it can hear the sender.
+	KindPostamble
+
+	// NumKinds is the number of feedback kinds (for validation).
+	NumKinds
+)
+
+// String names the kind for logs and stats tables.
+func (k FeedbackKind) String() string {
+	switch k {
+	case KindBER:
+		return "ber"
+	case KindCollision:
+		return "collision"
+	case KindSilentLoss:
+		return "silent"
+	case KindPostamble:
+		return "postamble"
+	default:
+		return "invalid"
+	}
+}
+
+// State is the relocatable dynamic state of a controller: everything that
+// distinguishes one link's SoftRate instance from a freshly built one with
+// the same Config. It is deliberately tiny (8 bytes) so a store can hold
+// millions of link states and rebuild the full controller on demand via
+// Restore.
+type State struct {
+	// RateIndex is the current rate index.
+	RateIndex int32
+	// SilentRun is the current consecutive-silent-loss count.
+	SilentRun int32
 }
 
 // SoftRate is the sender-side algorithm state.
@@ -149,6 +202,14 @@ type SoftRate struct {
 
 	alpha []float64 // increase thresholds α_i
 	beta  []float64 // decrease thresholds β_i
+
+	// Precomputed multi-level jump thresholds, indexed [rate][extra-1]:
+	// downJump[i][n-1] = β_i·DownMargin^n and upJump[i][n-1] = β_i/UpMargin^(n+1)
+	// for n in 1..MaxJump-1. Precomputing keeps math.Pow out of the
+	// per-feedback hot path, which must stay allocation-free and branch-cheap
+	// for the decision service.
+	downJump [][]float64
+	upJump   [][]float64
 }
 
 // New builds a SoftRate instance starting at the lowest rate.
@@ -177,9 +238,17 @@ func New(cfg Config) *SoftRate {
 	s := &SoftRate{cfg: cfg}
 	s.alpha = make([]float64, len(cfg.Rates))
 	s.beta = make([]float64, len(cfg.Rates))
+	s.downJump = make([][]float64, len(cfg.Rates))
+	s.upJump = make([][]float64, len(cfg.Rates))
 	for i, r := range cfg.Rates {
 		s.beta[i] = cfg.Recovery.UpperBER(r, cfg.FrameBits)
 		s.alpha[i] = s.beta[i] / cfg.UpMargin
+		s.downJump[i] = make([]float64, cfg.MaxJump-1)
+		s.upJump[i] = make([]float64, cfg.MaxJump-1)
+		for n := 1; n < cfg.MaxJump; n++ {
+			s.downJump[i][n-1] = s.beta[i] * math.Pow(cfg.DownMargin, float64(n))
+			s.upJump[i][n-1] = s.beta[i] / math.Pow(cfg.UpMargin, float64(n+1))
+		}
 	}
 	return s
 }
@@ -198,9 +267,21 @@ func (s *SoftRate) Thresholds(i int) (alpha, beta float64) {
 
 // OnFeedback processes one per-frame BER feedback and adjusts the rate in
 // the direction of the optimal one, moving multiple levels when the BER is
-// far outside the optimal band.
+// far outside the optimal band. The path is allocation-free and avoids
+// math.Pow (thresholds are precomputed in New) — it is the inner loop of
+// the softrated decision service.
+//
+// Only a clean (non-collision) feedback clears the silent-loss run: the
+// run counter exists to detect signal loss, and feedback for a frame
+// damaged by interference carries no fresh evidence that the *signal* is
+// strong — its excised BER already drives the threshold rule. If
+// collisions reset the counter, sporadic interference could mask a
+// genuinely weakening link indefinitely (§3.3; postamble disambiguation in
+// §3.2 is the mechanism that positively rules out attenuation).
 func (s *SoftRate) OnFeedback(fb Feedback) {
-	s.silentRun = 0
+	if !fb.Collision {
+		s.silentRun = 0
+	}
 	i := fb.RateIndex
 	if i < 0 || i >= len(s.cfg.Rates) {
 		i = s.cur
@@ -211,7 +292,7 @@ func (s *SoftRate) OnFeedback(fb Feedback) {
 		// Jump n levels down while the BER exceeds β_i by DownMargin per
 		// extra level.
 		n := 1
-		for n < s.cfg.MaxJump && b > s.beta[i]*math.Pow(s.cfg.DownMargin, float64(n)) {
+		for n < s.cfg.MaxJump && b > s.downJump[i][n-1] {
 			n++
 		}
 		s.cur = clamp(i-n, 0, len(s.cfg.Rates)-1)
@@ -219,7 +300,7 @@ func (s *SoftRate) OnFeedback(fb Feedback) {
 		// Jump n levels up while the BER clears α_i by UpMargin per
 		// extra level.
 		n := 1
-		for n < s.cfg.MaxJump && b < s.beta[i]/math.Pow(s.cfg.UpMargin, float64(n+1)) {
+		for n < s.cfg.MaxJump && b < s.upJump[i][n-1] {
 			n++
 		}
 		s.cur = clamp(i+n, 0, len(s.cfg.Rates)-1)
@@ -243,9 +324,46 @@ func (s *SoftRate) OnSilentLoss() {
 // OnPostambleFeedback handles the postamble-only reception case: the
 // receiver saw the postamble (so it ACKed) but the preamble — and with it
 // the body — was lost to a collision. The sender learns the loss was
-// interference, not attenuation, and keeps its rate (§3.2).
+// interference, not attenuation, and keeps its rate (§3.2). Unlike a
+// collision-tagged BER feedback, the postamble positively proves the
+// receiver still hears the sender, so it clears the silent-loss run.
 func (s *SoftRate) OnPostambleFeedback() {
 	s.silentRun = 0
+}
+
+// Apply dispatches one feedback event by kind and returns the rate index
+// chosen for the next frame. It is the single entry point the decision
+// service uses; rateIndex and ber are ignored for the kinds that carry no
+// BER (silent loss, postamble). Unknown kinds are treated as silent losses
+// — the conservative reading of garbage feedback.
+func (s *SoftRate) Apply(kind FeedbackKind, rateIndex int, ber float64) int {
+	switch kind {
+	case KindBER:
+		s.OnFeedback(Feedback{RateIndex: rateIndex, BER: ber})
+	case KindCollision:
+		s.OnFeedback(Feedback{RateIndex: rateIndex, BER: ber, Collision: true})
+	case KindPostamble:
+		s.OnPostambleFeedback()
+	default:
+		s.OnSilentLoss()
+	}
+	return s.cur
+}
+
+// Snapshot captures the controller's dynamic state. Together with Restore
+// it makes controllers relocatable: a store can evict an idle link to an
+// 8-byte State and later rebuild an equivalent controller from any
+// instance built with the same Config.
+func (s *SoftRate) Snapshot() State {
+	return State{RateIndex: int32(s.cur), SilentRun: int32(s.silentRun)}
+}
+
+// Restore overwrites the controller's dynamic state with a snapshot,
+// clamping out-of-range values (a snapshot may have been taken under a
+// different rate-set size).
+func (s *SoftRate) Restore(st State) {
+	s.cur = clamp(int(st.RateIndex), 0, len(s.cfg.Rates)-1)
+	s.silentRun = clamp(int(st.SilentRun), 0, s.cfg.SilentLossRun-1)
 }
 
 // PredictBER applies the §3.3 prediction heuristic: each rate step changes
@@ -254,6 +372,14 @@ func (s *SoftRate) OnPostambleFeedback() {
 // index 'from' — a tool for tests and the omniscient comparisons, not used
 // in the decision rule itself (the thresholds already encode the margins).
 func PredictBER(ber float64, from, to int) float64 {
+	// Clamp the input to the meaningful probability range: no estimator
+	// can report above 0.5 (random guessing), and negatives are noise.
+	if ber <= 0 {
+		return 0
+	}
+	if ber > 0.5 {
+		ber = 0.5
+	}
 	steps := float64(to - from)
 	p := ber * math.Pow(10, steps)
 	if p > 0.5 {

@@ -246,14 +246,188 @@ func TestConvergenceFromConstantChannelBER(t *testing.T) {
 }
 
 func TestPredictBER(t *testing.T) {
-	if got := PredictBER(1e-6, 2, 4); math.Abs(got-1e-4) > 1e-18 {
-		t.Fatalf("PredictBER up 2 = %v, want 1e-4", got)
+	cases := []struct {
+		name     string
+		ber      float64
+		from, to int
+		want     float64
+	}{
+		{"up two steps", 1e-6, 2, 4, 1e-4},
+		{"down two steps", 1e-4, 3, 1, 1e-6},
+		{"same index is identity", 3e-5, 3, 3, 3e-5},
+		{"caps at 0.5", 0.1, 0, 5, 0.5},
+		{"BER exactly 1 caps at 0.5", 1.0, 2, 2, 0.5},
+		{"BER above 1 caps at 0.5", 7.0, 2, 3, 0.5},
+		{"BER above 0.5 clamps before scaling down", 3.0, 5, 0, 0.5 * 1e-5},
+		{"BER zero stays zero", 0, 0, 5, 0},
+		{"BER zero stepping down stays zero", 0, 5, 0, 0},
+		{"negative BER clamps to zero", -1e-3, 1, 4, 0},
+		{"indices far past the table still finite", 1e-9, 0, 40, 0.5},
+		{"indices far below the table clamp to zero-ish", 1e-9, 40, 0, 1e-49},
 	}
-	if got := PredictBER(1e-4, 3, 1); math.Abs(got-1e-6) > 1e-18 {
-		t.Fatalf("PredictBER down 2 = %v, want 1e-6", got)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := PredictBER(c.ber, c.from, c.to)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("PredictBER(%v, %d, %d) = %v, want finite", c.ber, c.from, c.to, got)
+			}
+			if diff := math.Abs(got - c.want); diff > c.want*1e-9+1e-60 {
+				t.Fatalf("PredictBER(%v, %d, %d) = %v, want %v", c.ber, c.from, c.to, got, c.want)
+			}
+		})
 	}
-	if got := PredictBER(0.1, 0, 5); got != 0.5 {
-		t.Fatalf("PredictBER must cap at 0.5, got %v", got)
+}
+
+func TestCollisionFeedbackPreservesSilentRun(t *testing.T) {
+	// §3.3 interplay: collision-tagged feedback must not reset the
+	// silent-loss counter. Two silent losses, a collision verdict, then a
+	// third silent loss must still complete the run of three and drop the
+	// rate — otherwise sporadic interference could mask a weak link forever.
+	s := New(DefaultConfig())
+	s.cur = 4
+	alpha, beta := s.Thresholds(4)
+	inBand := math.Sqrt(alpha * beta)
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	s.OnFeedback(Feedback{RateIndex: 4, BER: inBand, Collision: true})
+	if s.CurrentIndex() != 4 {
+		t.Fatalf("in-band collision feedback moved the rate to %d", s.CurrentIndex())
+	}
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 3 {
+		t.Fatalf("rate %d after silent,silent,collision,silent — want 3 (run not reset)", s.CurrentIndex())
+	}
+}
+
+func TestCleanFeedbackStillResetsSilentRunAmongCollisions(t *testing.T) {
+	// The counterpart: one clean reception is positive evidence the signal
+	// is fine, and clears the run even when collisions surround it.
+	s := New(DefaultConfig())
+	s.cur = 4
+	alpha, beta := s.Thresholds(4)
+	inBand := math.Sqrt(alpha * beta)
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	s.OnFeedback(Feedback{RateIndex: 4, BER: inBand, Collision: true})
+	s.OnFeedback(Feedback{RateIndex: 4, BER: inBand}) // clean: resets
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 4 {
+		t.Fatalf("rate %d, want 4: clean feedback must reset the run", s.CurrentIndex())
+	}
+	s.OnSilentLoss()
+	if s.CurrentIndex() != 3 {
+		t.Fatalf("rate %d, want 3 after a fresh run of three", s.CurrentIndex())
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New(DefaultConfig())
+	s.cur = 4
+	s.OnSilentLoss()
+	s.OnSilentLoss()
+	st := s.Snapshot()
+	if st.RateIndex != 4 || st.SilentRun != 2 {
+		t.Fatalf("snapshot = %+v, want {4 2}", st)
+	}
+
+	// Restoring into a fresh controller must reproduce behaviour exactly:
+	// the third silent loss completes the run.
+	r := New(DefaultConfig())
+	r.Restore(st)
+	if r.CurrentIndex() != 4 {
+		t.Fatalf("restored index %d, want 4", r.CurrentIndex())
+	}
+	r.OnSilentLoss()
+	if r.CurrentIndex() != 3 {
+		t.Fatalf("restored controller lost the silent run: index %d, want 3", r.CurrentIndex())
+	}
+}
+
+func TestRestoreClampsOutOfRangeState(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Restore(State{RateIndex: 99, SilentRun: 99})
+	if s.CurrentIndex() != len(rate.Evaluation())-1 {
+		t.Fatalf("rate index not clamped: %d", s.CurrentIndex())
+	}
+	if got := s.Snapshot().SilentRun; int(got) >= s.cfg.SilentLossRun {
+		t.Fatalf("silent run not clamped below the threshold: %d", got)
+	}
+	s.Restore(State{RateIndex: -5, SilentRun: -5})
+	if s.CurrentIndex() != 0 || s.Snapshot().SilentRun != 0 {
+		t.Fatalf("negative state not clamped: %+v", s.Snapshot())
+	}
+}
+
+func TestApplyDispatchMatchesMethods(t *testing.T) {
+	// Apply(kind, ...) must behave identically to calling the individual
+	// methods — it is the decision service's single entry point.
+	type ev struct {
+		kind FeedbackKind
+		ri   int
+		ber  float64
+	}
+	alphaAt := func(s *SoftRate, i int) float64 { a, _ := s.Thresholds(i); return a }
+	seq := []ev{
+		{KindBER, 0, 0},
+		{KindBER, 1, 0},
+		{KindSilentLoss, 0, 0},
+		{KindCollision, 3, 0.2},
+		{KindSilentLoss, 0, 0},
+		{KindSilentLoss, 0, 0},
+		{KindPostamble, 0, 0},
+		{KindBER, 2, 1e-9},
+	}
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	for i, e := range seq {
+		ber := e.ber
+		if e.kind == KindBER && ber == 0 {
+			ber = alphaAt(a, e.ri) / 2 // climb
+		}
+		got := a.Apply(e.kind, e.ri, ber)
+		switch e.kind {
+		case KindBER:
+			b.OnFeedback(Feedback{RateIndex: e.ri, BER: ber})
+		case KindCollision:
+			b.OnFeedback(Feedback{RateIndex: e.ri, BER: ber, Collision: true})
+		case KindSilentLoss:
+			b.OnSilentLoss()
+		case KindPostamble:
+			b.OnPostambleFeedback()
+		}
+		if got != b.CurrentIndex() || a.Snapshot() != b.Snapshot() {
+			t.Fatalf("step %d (%v): Apply=%d state=%+v, methods state=%+v",
+				i, e.kind, got, a.Snapshot(), b.Snapshot())
+		}
+	}
+	// Unknown kinds degrade to silent losses.
+	c := New(DefaultConfig())
+	c.cur = 3
+	for i := 0; i < 3; i++ {
+		c.Apply(FeedbackKind(200), 0, 0)
+	}
+	if c.CurrentIndex() != 2 {
+		t.Fatalf("unknown kind not treated as silent loss: index %d", c.CurrentIndex())
+	}
+}
+
+func TestPrecomputedJumpThresholdsMatchFormula(t *testing.T) {
+	// The hot path reads precomputed tables; they must equal the formulas
+	// they replaced bit-for-bit so decisions are unchanged.
+	cfg := DefaultConfig()
+	cfg.MaxJump = 4
+	s := New(cfg)
+	for i := range s.cfg.Rates {
+		for n := 1; n < cfg.MaxJump; n++ {
+			wantDown := s.beta[i] * math.Pow(cfg.DownMargin, float64(n))
+			wantUp := s.beta[i] / math.Pow(cfg.UpMargin, float64(n+1))
+			if s.downJump[i][n-1] != wantDown {
+				t.Fatalf("downJump[%d][%d] = %v, want %v", i, n-1, s.downJump[i][n-1], wantDown)
+			}
+			if s.upJump[i][n-1] != wantUp {
+				t.Fatalf("upJump[%d][%d] = %v, want %v", i, n-1, s.upJump[i][n-1], wantUp)
+			}
+		}
 	}
 }
 

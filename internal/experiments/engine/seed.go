@@ -3,16 +3,17 @@ package engine
 import (
 	"math/rand"
 	randv2 "math/rand/v2"
+
+	"softrate/internal/bitutil"
 )
 
-// splitmix64 constants (Steele, Lea & Flood: "Fast splittable
+// splitmix64 stream constants (Steele, Lea & Flood: "Fast splittable
 // pseudorandom number generators", OOPSLA 2014). The golden-gamma
 // increment guarantees distinct, well-mixed streams for adjacent trial
-// indices even when base seeds are small consecutive integers.
+// indices even when base seeds are small consecutive integers; the
+// finalizer itself lives in bitutil.Mix64.
 const (
 	goldenGamma = 0x9e3779b97f4a7c15
-	mixMul1     = 0xbf58476d1ce4e5b9
-	mixMul2     = 0x94d049bb133111eb
 	streamSalt  = 0xda942042e4dd58b5
 )
 
@@ -20,10 +21,7 @@ const (
 // index with a SplitMix64 finalizer. The mapping is stable across
 // processes and worker counts: it depends only on (base, trial).
 func Seed(base int64, trial int) int64 {
-	z := uint64(base) + goldenGamma*(uint64(trial)+1)
-	z = (z ^ (z >> 30)) * mixMul1
-	z = (z ^ (z >> 27)) * mixMul2
-	return int64(z ^ (z >> 31))
+	return int64(bitutil.Mix64(uint64(base) + goldenGamma*(uint64(trial)+1)))
 }
 
 // Rand returns a math/rand PRNG backed by a private PCG stream seeded

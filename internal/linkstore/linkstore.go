@@ -1,0 +1,334 @@
+// Package linkstore is the decision service's state layer: a hash-sharded,
+// striped-lock store of per-link SoftRate controllers. It is built to hold
+// millions of concurrent links on one host:
+//
+//   - Per link it stores only core.State (8 bytes) plus a last-used stamp,
+//     not a full controller. Every controller built from one Config is
+//     identical except for that State (the thresholds are pure functions of
+//     the Config), so each shard keeps a single scratch controller and
+//     services a link by Restore → apply → Snapshot. Controllers are thus
+//     relocatable between shards, processes, and machines.
+//   - Links are created lazily on first touch and evicted after a
+//     configurable idle TTL. Evicted state moves to a per-shard archive (a
+//     bare linkID → State map, no stamp), so a link that comes back after
+//     an idle period resumes exactly where it left off — eviction is
+//     invisible to the protocol, it only sheds hot-map bookkeeping.
+//   - Locking is striped per shard; batches are routed shard-by-shard so a
+//     batch of B feedbacks takes O(shards-touched) lock acquisitions, not
+//     O(B).
+package linkstore
+
+import (
+	"sync"
+	"time"
+
+	"softrate/internal/bitutil"
+	"softrate/internal/core"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Shards is the number of lock stripes, rounded up to a power of two
+	// (default 64).
+	Shards int
+	// New builds a link's controller (default core.New(core.DefaultConfig())).
+	// All controllers of one store must be built from the same Config —
+	// the store relies on controllers being interchangeable up to State.
+	New func() *core.SoftRate
+	// TTL is the idle time after which a link is evicted from the hot map
+	// (0 disables eviction).
+	TTL time.Duration
+	// DropOnEvict discards evicted state instead of archiving it: a
+	// returning link restarts from a fresh controller. Default false —
+	// eviction is transparent.
+	DropOnEvict bool
+	// Clock returns the current time in nanoseconds (default
+	// time.Now().UnixNano; injectable for deterministic tests).
+	Clock func() int64
+}
+
+// Op is one feedback event addressed to one link.
+type Op struct {
+	// LinkID identifies the link (sender, receiver, direction — however
+	// the caller names it).
+	LinkID uint64
+	// Kind is the feedback kind.
+	Kind core.FeedbackKind
+	// RateIndex is the rate the frame was sent at (KindBER/KindCollision).
+	RateIndex int32
+	// BER is the interference-free BER estimate (KindBER/KindCollision).
+	BER float64
+}
+
+// ShardStats counts one shard's activity. Counters are cumulative.
+type ShardStats struct {
+	// Hits is the number of operations that found the link in the hot map.
+	Hits uint64
+	// Creates is the number of links created fresh.
+	Creates uint64
+	// Restores is the number of links revived from the archive.
+	Restores uint64
+	// Evictions is the number of links moved out of the hot map by TTL.
+	Evictions uint64
+	// Live is the current hot-map size.
+	Live int
+	// Archived is the current archive size.
+	Archived int
+}
+
+// Stats is the store-wide aggregate of ShardStats.
+type Stats struct {
+	ShardStats
+	// Shards is the number of shards aggregated.
+	Shards int
+}
+
+type entry struct {
+	state    core.State
+	lastUsed int64
+}
+
+type shard struct {
+	mu        sync.Mutex
+	links     map[uint64]entry
+	archive   map[uint64]core.State
+	scratch   *core.SoftRate
+	fresh     core.State // a just-built controller's state, for lazy creation
+	stats     ShardStats
+	lastSweep int64
+}
+
+// Store is the sharded link-state store.
+type Store struct {
+	cfg    Config
+	mask   uint64
+	ttl    int64
+	shards []shard
+
+	scratchPool sync.Pool // *batchScratch, for ApplyBatch routing
+}
+
+type batchScratch struct {
+	perShard [][]int32
+}
+
+// New builds a Store.
+func New(cfg Config) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 64
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.New == nil {
+		cfg.New = func() *core.SoftRate { return core.New(core.DefaultConfig()) }
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	st := &Store{cfg: cfg, mask: uint64(n - 1), ttl: cfg.TTL.Nanoseconds()}
+	st.shards = make([]shard, n)
+	for i := range st.shards {
+		st.shards[i].links = make(map[uint64]entry)
+		st.shards[i].archive = make(map[uint64]core.State)
+		st.shards[i].scratch = cfg.New()
+		st.shards[i].fresh = st.shards[i].scratch.Snapshot()
+	}
+	st.scratchPool.New = func() any {
+		return &batchScratch{perShard: make([][]int32, n)}
+	}
+	return st
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// shardIndex mixes the link ID through the SplitMix64 finalizer so that
+// sequential IDs spread evenly across shards.
+func (st *Store) shardIndex(id uint64) int {
+	return int(bitutil.Mix64(id) & st.mask)
+}
+
+func (st *Store) shardFor(id uint64) *shard {
+	return &st.shards[st.shardIndex(id)]
+}
+
+// touch returns the link's current state, creating or restoring it as
+// needed. Caller holds sh.mu.
+func (sh *shard) touch(id uint64, dropOnEvict bool) core.State {
+	if e, ok := sh.links[id]; ok {
+		sh.stats.Hits++
+		return e.state
+	}
+	if !dropOnEvict {
+		if s, ok := sh.archive[id]; ok {
+			delete(sh.archive, id)
+			sh.stats.Restores++
+			return s
+		}
+	}
+	sh.stats.Creates++
+	return sh.fresh
+}
+
+// applyLocked runs one op against a shard. Caller holds sh.mu.
+func (sh *shard) applyLocked(op Op, now int64, dropOnEvict bool) int {
+	state := sh.touch(op.LinkID, dropOnEvict)
+	sh.scratch.Restore(state)
+	ri := sh.scratch.Apply(op.Kind, int(op.RateIndex), op.BER)
+	sh.links[op.LinkID] = entry{state: sh.scratch.Snapshot(), lastUsed: now}
+	return ri
+}
+
+// sweepLocked evicts idle links. Caller holds sh.mu.
+func (sh *shard) sweepLocked(now, ttl int64, dropOnEvict bool) int {
+	evicted := 0
+	for id, e := range sh.links {
+		if now-e.lastUsed >= ttl {
+			if !dropOnEvict {
+				sh.archive[id] = e.state
+			}
+			delete(sh.links, id)
+			evicted++
+		}
+	}
+	sh.stats.Evictions += uint64(evicted)
+	sh.lastSweep = now
+	return evicted
+}
+
+// maybeSweepLocked runs a TTL sweep if one is due. A shard sweeps at most
+// every TTL/4, so the amortized per-op eviction cost stays constant while
+// no link outlives its TTL by more than 25%. Caller holds sh.mu.
+func (sh *shard) maybeSweepLocked(now, ttl int64, dropOnEvict bool) {
+	if ttl <= 0 || now-sh.lastSweep < ttl/4 {
+		return
+	}
+	sh.sweepLocked(now, ttl, dropOnEvict)
+}
+
+// Apply routes one feedback event to its link's controller and returns the
+// chosen next-rate index. The link is created (or revived from the
+// archive) if absent.
+func (st *Store) Apply(op Op) int {
+	now := st.cfg.Clock()
+	sh := st.shardFor(op.LinkID)
+	sh.mu.Lock()
+	ri := sh.applyLocked(op, now, st.cfg.DropOnEvict)
+	sh.maybeSweepLocked(now, st.ttl, st.cfg.DropOnEvict)
+	sh.mu.Unlock()
+	return ri
+}
+
+// ApplyBatch processes ops and writes the chosen rate index of ops[i] to
+// out[i], which must be at least len(ops) long. Ops are routed shard by
+// shard — each touched shard's lock is taken exactly once — while per-link
+// ordering is preserved (a link's ops live in one shard and are applied in
+// batch order). Returns out[:len(ops)].
+func (st *Store) ApplyBatch(ops []Op, out []int32) []int32 {
+	now := st.cfg.Clock()
+	drop := st.cfg.DropOnEvict
+	scratch := st.scratchPool.Get().(*batchScratch)
+	for i := range ops {
+		si := st.shardIndex(ops[i].LinkID)
+		scratch.perShard[si] = append(scratch.perShard[si], int32(i))
+	}
+	for si := range scratch.perShard {
+		idxs := scratch.perShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &st.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			out[i] = int32(sh.applyLocked(ops[i], now, drop))
+		}
+		sh.maybeSweepLocked(now, st.ttl, drop)
+		sh.mu.Unlock()
+		scratch.perShard[si] = idxs[:0]
+	}
+	st.scratchPool.Put(scratch)
+	return out[:len(ops)]
+}
+
+// Peek returns the link's current state without touching its TTL stamp or
+// creating it. The second result reports whether the link exists (hot or
+// archived).
+func (st *Store) Peek(id uint64) (core.State, bool) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.links[id]; ok {
+		return e.state, true
+	}
+	if s, ok := sh.archive[id]; ok {
+		return s, true
+	}
+	return core.State{}, false
+}
+
+// EvictIdle sweeps every shard now, evicting links idle for at least the
+// TTL, and returns the number evicted. A no-op when TTL is zero.
+func (st *Store) EvictIdle() int {
+	if st.ttl <= 0 {
+		return 0
+	}
+	now := st.cfg.Clock()
+	total := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		total += sh.sweepLocked(now, st.ttl, st.cfg.DropOnEvict)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the number of links in the hot maps.
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.links)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates all shards' counters.
+func (st *Store) Stats() Stats {
+	var out Stats
+	out.Shards = len(st.shards)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		s := sh.stats
+		s.Live = len(sh.links)
+		s.Archived = len(sh.archive)
+		sh.mu.Unlock()
+		out.Hits += s.Hits
+		out.Creates += s.Creates
+		out.Restores += s.Restores
+		out.Evictions += s.Evictions
+		out.Live += s.Live
+		out.Archived += s.Archived
+	}
+	return out
+}
+
+// PerShard returns a snapshot of each shard's stats (for balance checks
+// and the softrated stats endpoint).
+func (st *Store) PerShard() []ShardStats {
+	out := make([]ShardStats, len(st.shards))
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.stats
+		out[i].Live = len(sh.links)
+		out[i].Archived = len(sh.archive)
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"softrate/internal/core"
+	"softrate/internal/linkstore"
+)
+
+// Wire format. A request batch is a sequence of fixed-size records; a
+// response is one byte (the chosen rate index) per record, in request
+// order. Fixed-size records keep decode branch-free and let a receiver
+// validate a batch by length alone.
+//
+//	request record (18 bytes, little-endian):
+//	  [0:8)   linkID  uint64
+//	  [8]     kind    uint8  (core.FeedbackKind)
+//	  [9]     rate    uint8  (index the frame was sent at)
+//	  [10:18) ber     float64 bits
+//
+// Over TCP each batch is prefixed with a uint32 payload length (see
+// tcp.go); the in-process API skips framing entirely.
+
+// RecordSize is the encoded size of one feedback record.
+const RecordSize = 18
+
+// MaxBatch bounds the records per batch (and with it the frame size a TCP
+// peer can make the server buffer).
+const MaxBatch = 65536
+
+// AppendOp appends one encoded feedback record to buf. The wire format
+// carries the rate index in one byte; callers must keep Op.RateIndex in
+// [0, 255] (Client.Decide enforces this) or the index silently truncates.
+func AppendOp(buf []byte, op linkstore.Op) []byte {
+	var rec [RecordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], op.LinkID)
+	rec[8] = uint8(op.Kind)
+	rec[9] = uint8(op.RateIndex)
+	binary.LittleEndian.PutUint64(rec[10:18], math.Float64bits(op.BER))
+	return append(buf, rec[:]...)
+}
+
+// AppendOps appends a whole batch.
+func AppendOps(buf []byte, ops []linkstore.Op) []byte {
+	for _, op := range ops {
+		buf = AppendOp(buf, op)
+	}
+	return buf
+}
+
+// DecodeOps parses a batch payload into dst (reused if it has capacity).
+// The payload must be a whole number of records; kinds are validated, BERs
+// must be finite and non-negative.
+func DecodeOps(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
+	if len(payload)%RecordSize != 0 {
+		return nil, fmt.Errorf("server: payload length %d is not a multiple of the %d-byte record", len(payload), RecordSize)
+	}
+	n := len(payload) / RecordSize
+	if n > MaxBatch {
+		return nil, fmt.Errorf("server: batch of %d records exceeds the maximum %d", n, MaxBatch)
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		rec := payload[i*RecordSize : (i+1)*RecordSize]
+		kind := core.FeedbackKind(rec[8])
+		if kind >= core.NumKinds {
+			return nil, fmt.Errorf("server: record %d: unknown feedback kind %d", i, rec[8])
+		}
+		ber := math.Float64frombits(binary.LittleEndian.Uint64(rec[10:18]))
+		if math.IsNaN(ber) || math.IsInf(ber, 0) || ber < 0 {
+			return nil, fmt.Errorf("server: record %d: invalid BER %v", i, ber)
+		}
+		dst = append(dst, linkstore.Op{
+			LinkID:    binary.LittleEndian.Uint64(rec[0:8]),
+			Kind:      kind,
+			RateIndex: int32(rec[9]),
+			BER:       ber,
+		})
+	}
+	return dst, nil
+}

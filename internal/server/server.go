@@ -1,0 +1,117 @@
+// Package server is the softrated decision service: it answers "what rate
+// should this link transmit at next?" for batches of per-frame feedback.
+// Per-link SoftRate controllers live in a sharded linkstore; the server
+// adds the request/response surface — an in-process API for embedding
+// (the load generator, simulators, a future MAC offload path) and a
+// length-prefixed TCP transport for remote senders (see tcp.go) — plus
+// service-level counters.
+//
+// The paper's controller (§3.3) is inherently an online per-link service:
+// every ACK carries a SoftPHY BER estimate and the sender needs the next
+// rate before the next frame. The decision itself is a handful of
+// comparisons, so the service's job is routing and state residency, not
+// computation — hence batches, shards and compact relocatable state.
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"softrate/internal/core"
+	"softrate/internal/linkstore"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store configures the underlying link store. Zero values give a
+	// 64-shard store of default controllers with no eviction.
+	Store linkstore.Config
+}
+
+// Stats are the service-level counters (cumulative, atomically updated).
+type Stats struct {
+	// Batches is the number of Decide calls (local or remote).
+	Batches uint64
+	// Frames is the total feedback records processed.
+	Frames uint64
+	// Kinds counts records per feedback kind.
+	Kinds [core.NumKinds]uint64
+	// Store is the link store's aggregate view.
+	Store linkstore.Stats
+}
+
+// Server is the decision service.
+type Server struct {
+	store *linkstore.Store
+	ttl   time.Duration
+
+	batches uint64
+	frames  uint64
+	kinds   [core.NumKinds]uint64
+
+	tcp tcpState
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	return &Server{store: linkstore.New(cfg.Store), ttl: cfg.Store.TTL}
+}
+
+// Store exposes the underlying link store (for embedding scenarios that
+// want Peek/EvictIdle).
+func (s *Server) Store() *linkstore.Store { return s.store }
+
+// Decide processes one batch of feedback ops in-process and writes the
+// chosen rate index for ops[i] to out[i] (which must be at least len(ops)
+// long). It is safe for concurrent use. Returns out[:len(ops)].
+func (s *Server) Decide(ops []linkstore.Op, out []int32) []int32 {
+	res := s.store.ApplyBatch(ops, out)
+	atomic.AddUint64(&s.batches, 1)
+	atomic.AddUint64(&s.frames, uint64(len(ops)))
+	// Accumulate kind counts locally: one atomic per kind per batch, not
+	// one per record — the counters share a cache line and concurrent
+	// Decide callers would otherwise bounce it for every frame.
+	var kinds [core.NumKinds]uint64
+	for i := range ops {
+		if k := ops[i].Kind; k < core.NumKinds {
+			kinds[k]++
+		}
+	}
+	for k, n := range kinds {
+		if n > 0 {
+			atomic.AddUint64(&s.kinds[k], n)
+		}
+	}
+	return res
+}
+
+// EvictIdle force-sweeps the store (also run periodically by Serve).
+func (s *Server) EvictIdle() int { return s.store.EvictIdle() }
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	var out Stats
+	out.Batches = atomic.LoadUint64(&s.batches)
+	out.Frames = atomic.LoadUint64(&s.frames)
+	for k := range out.Kinds {
+		out.Kinds[k] = atomic.LoadUint64(&s.kinds[k])
+	}
+	out.Store = s.store.Stats()
+	return out
+}
+
+// sweeper periodically evicts idle links until stop is closed. Serve
+// starts one when the store has a TTL; in-process embedders rely on the
+// store's own incremental sweeps instead.
+func (s *Server) sweeper(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.store.EvictIdle()
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"softrate/internal/core"
+	"softrate/internal/linkstore"
+)
+
+func randOps(rng *rand.Rand, n, links int) []linkstore.Op {
+	ops := make([]linkstore.Op, n)
+	for i := range ops {
+		ops[i] = linkstore.Op{
+			LinkID:    uint64(rng.Intn(links)),
+			Kind:      core.FeedbackKind(rng.Intn(int(core.NumKinds))),
+			RateIndex: int32(rng.Intn(6)),
+			BER:       rng.Float64() * 0.01,
+		}
+	}
+	return ops
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := randOps(rng, 500, 1<<62) // huge ID space: exercises all 8 bytes
+	ops = append(ops, linkstore.Op{LinkID: math.MaxUint64, Kind: core.KindPostamble, RateIndex: 255, BER: 0.5})
+	buf := AppendOps(nil, ops)
+	if len(buf) != len(ops)*RecordSize {
+		t.Fatalf("encoded %d bytes for %d ops, want %d", len(buf), len(ops), len(ops)*RecordSize)
+	}
+	got, err := DecodeOps(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestCodecRejectsMalformedPayloads(t *testing.T) {
+	good := AppendOp(nil, linkstore.Op{LinkID: 1, Kind: core.KindBER, BER: 1e-5})
+
+	if _, err := DecodeOps(good[:RecordSize-1], nil); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[8] = byte(core.NumKinds) // first invalid kind
+	if _, err := DecodeOps(bad, nil); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+
+	for _, v := range []float64{math.NaN(), math.Inf(1), -1e-3} {
+		bad = append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(bad[10:18], math.Float64bits(v))
+		if _, err := DecodeOps(bad, nil); err == nil {
+			t.Fatalf("invalid BER %v accepted", v)
+		}
+	}
+
+	huge := make([]byte, (MaxBatch+1)*RecordSize)
+	if _, err := DecodeOps(huge, nil); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestDecideMatchesBareControllersAt10kLinks(t *testing.T) {
+	// The acceptance determinism property at the server layer: 10k links,
+	// randomized interleaved batches, every decision byte-identical to a
+	// bare per-link core.SoftRate replay.
+	const nLinks = 10000
+	srv := New(Config{Store: linkstore.Config{Shards: 128}})
+	bare := make([]*core.SoftRate, nLinks)
+	for i := range bare {
+		bare[i] = core.New(core.DefaultConfig())
+	}
+	rng := rand.New(rand.NewSource(9))
+	out := make([]int32, 512)
+	for batch := 0; batch < 100; batch++ {
+		ops := randOps(rng, 512, nLinks)
+		srv.Decide(ops, out)
+		for i, op := range ops {
+			want := bare[op.LinkID].Apply(op.Kind, int(op.RateIndex), op.BER)
+			if int(out[i]) != want {
+				t.Fatalf("batch %d op %d link %d: server %d != bare %d", batch, i, op.LinkID, out[i], want)
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.Frames != 512*100 || st.Batches != 100 {
+		t.Fatalf("stats %+v, want 51200 frames in 100 batches", st)
+	}
+	var kindSum uint64
+	for _, c := range st.Kinds {
+		kindSum += c
+	}
+	if kindSum != st.Frames {
+		t.Fatalf("kind counters sum to %d, want %d", kindSum, st.Frames)
+	}
+}
+
+// startTCP spins up a served listener and returns its address.
+func startTCP(t *testing.T, srv *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+func TestTCPEndToEndMatchesInProcess(t *testing.T) {
+	remote := New(Config{Store: linkstore.Config{Shards: 32}})
+	local := New(Config{Store: linkstore.Config{Shards: 32}})
+	addr := startTCP(t, remote)
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	got := make([]int32, 300)
+	want := make([]int32, 300)
+	for batch := 0; batch < 20; batch++ {
+		ops := randOps(rng, 300, 500)
+		if _, err := cli.Decide(ops, got); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		local.Decide(ops, want)
+		for i := range ops {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d op %d: TCP %d != in-process %d", batch, i, got[i], want[i])
+			}
+		}
+	}
+	if st := remote.Stats(); st.Frames != 300*20 {
+		t.Fatalf("remote served %d frames, want %d", st.Frames, 300*20)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv := New(Config{Store: linkstore.Config{Shards: 32, TTL: 50 * time.Millisecond}})
+	addr := startTCP(t, srv)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			rng := rand.New(rand.NewSource(int64(c)))
+			out := make([]int32, 64)
+			for i := 0; i < 50; i++ {
+				// Disjoint link ranges per client: responses must stay
+				// consistent with a per-client serial replay.
+				ops := randOps(rng, 64, 100)
+				for j := range ops {
+					ops[j].LinkID += uint64(c) * 1000
+				}
+				if _, err := cli.Decide(ops, out); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Frames != clients*50*64 {
+		t.Fatalf("served %d frames, want %d", st.Frames, clients*50*64)
+	}
+}
+
+func TestTCPServerSurvivesGarbageAndShortWrites(t *testing.T) {
+	srv := New(Config{})
+	addr := startTCP(t, srv)
+
+	// Oversized length prefix: server must drop the connection, not hang
+	// or crash.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(maxPayload+1))
+	conn.Write(hdr[:])
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(hdr[:]); err == nil {
+		t.Fatal("server answered an oversized batch instead of dropping the connection")
+	}
+	conn.Close()
+
+	// Misaligned payload: same story.
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(hdr[:], 7)
+	conn.Write(hdr[:])
+	conn.Write(make([]byte, 7))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(hdr[:]); err == nil {
+		t.Fatal("server answered a misaligned batch")
+	}
+	conn.Close()
+
+	// A healthy client still gets service afterwards.
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	out := make([]int32, 1)
+	if _, err := cli.Decide([]linkstore.Op{{LinkID: 1, Kind: core.KindSilentLoss}}, out); err != nil {
+		t.Fatalf("healthy client failed after garbage peers: %v", err)
+	}
+}
+
+func BenchmarkDecideInProcess(b *testing.B) {
+	srv := New(Config{Store: linkstore.Config{Shards: 64}})
+	rng := rand.New(rand.NewSource(3))
+	ops := randOps(rng, 256, 10000)
+	out := make([]int32, len(ops))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Decide(ops, out)
+	}
+	b.ReportMetric(float64(len(ops))*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"softrate/internal/linkstore"
+)
+
+// TCP transport: each request batch is a uint32 little-endian payload
+// length followed by that many bytes of feedback records (codec.go); each
+// response is a uint32 record count followed by one rate-index byte per
+// record, in request order. One request is answered before the next is
+// read, so a connection is a simple pipeline with at most one batch in
+// flight per client — senders wanting more parallelism open more
+// connections (the MAC has one feedback stream per link anyway).
+
+// maxPayload is the largest accepted batch payload.
+const maxPayload = MaxBatch * RecordSize
+
+type tcpState struct {
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	stop      chan struct{}
+	closed    bool
+	sweeping  bool
+	wg        sync.WaitGroup
+}
+
+func (t *tcpState) init() {
+	if t.listeners == nil {
+		t.listeners = make(map[net.Listener]struct{})
+		t.conns = make(map[net.Conn]struct{})
+		t.stop = make(chan struct{})
+	}
+}
+
+// Serve accepts and serves connections on l until Close is called or the
+// listener fails. It may be called on several listeners concurrently. If
+// the store has an eviction TTL, the first Serve starts one background
+// sweeper so fully idle deployments still shed links; the sweeper (like
+// any open connections) runs until Close — call Close even after Serve
+// returns an error to release it.
+func (s *Server) Serve(l net.Listener) error {
+	s.tcp.mu.Lock()
+	if s.tcp.closed {
+		s.tcp.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.tcp.init()
+	s.tcp.listeners[l] = struct{}{}
+	stop := s.tcp.stop
+	// wg.Add must happen while the closed check still holds (under the
+	// lock), or Close's Wait could observe a zero counter and return
+	// before a goroutine spawned here starts.
+	startSweeper := s.ttl > 0 && !s.tcp.sweeping
+	if startSweeper {
+		s.tcp.sweeping = true
+		s.tcp.wg.Add(1)
+	}
+	s.tcp.mu.Unlock()
+
+	if startSweeper {
+		go func() {
+			defer s.tcp.wg.Done()
+			s.sweeper(s.ttl/4+time.Millisecond, stop)
+		}()
+	}
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-stop:
+				return nil // orderly shutdown
+			default:
+				return err
+			}
+		}
+		s.tcp.mu.Lock()
+		if s.tcp.closed {
+			s.tcp.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.tcp.conns[conn] = struct{}{}
+		s.tcp.wg.Add(1) // under the lock: pairs with the closed check above
+		s.tcp.mu.Unlock()
+		go func() {
+			defer s.tcp.wg.Done()
+			s.handleConn(conn)
+			s.tcp.mu.Lock()
+			delete(s.tcp.conns, conn)
+			s.tcp.mu.Unlock()
+		}()
+	}
+}
+
+// Close shuts down all listeners and connections and waits for handler
+// goroutines to drain.
+func (s *Server) Close() {
+	s.tcp.mu.Lock()
+	s.tcp.init()
+	if s.tcp.closed {
+		s.tcp.mu.Unlock()
+		s.tcp.wg.Wait()
+		return
+	}
+	s.tcp.closed = true
+	close(s.tcp.stop)
+	for l := range s.tcp.listeners {
+		l.Close()
+	}
+	for c := range s.tcp.conns {
+		c.Close()
+	}
+	s.tcp.mu.Unlock()
+	s.tcp.wg.Wait()
+}
+
+// handleConn runs the request loop for one connection; buffers are reused
+// across batches so steady-state service is allocation-free.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var (
+		hdr     [4]byte
+		payload []byte
+		ops     []linkstore.Op
+		out     []int32
+		resp    []byte
+	)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // EOF or peer gone
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxPayload {
+			return // protocol violation: drop the connection
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		var err error
+		ops, err = DecodeOps(payload, ops)
+		if err != nil {
+			return
+		}
+		if cap(out) < len(ops) {
+			out = make([]int32, len(ops))
+		}
+		s.Decide(ops, out[:len(ops)])
+
+		resp = resp[:0]
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(ops)))
+		resp = append(resp, cnt[:]...)
+		for _, ri := range out[:len(ops)] {
+			resp = append(resp, uint8(ri))
+		}
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a TCP client for the decision service. It is not safe for
+// concurrent use; open one Client per sending goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a softrated server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Decide sends one batch and writes the returned rate indices to out
+// (which must be at least len(ops) long). Returns out[:len(ops)].
+func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
+	if len(ops) > MaxBatch {
+		return nil, fmt.Errorf("server: batch of %d exceeds maximum %d", len(ops), MaxBatch)
+	}
+	for i := range ops {
+		// The wire record has one byte for the rate index; reject rather
+		// than truncate to a different, valid-looking index.
+		if ops[i].RateIndex < 0 || ops[i].RateIndex > 255 {
+			return nil, fmt.Errorf("server: op %d: rate index %d not encodable in one byte", i, ops[i].RateIndex)
+		}
+	}
+	c.buf = c.buf[:0]
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(ops)*RecordSize))
+	c.buf = append(c.buf, hdr[:]...)
+	c.buf = AppendOps(c.buf, ops)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) != len(ops) {
+		return nil, fmt.Errorf("server: response count %d for a batch of %d", n, len(ops))
+	}
+	c.buf = c.buf[:0]
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	c.buf = c.buf[:n]
+	if _, err := io.ReadFull(c.br, c.buf); err != nil {
+		return nil, err
+	}
+	for i, b := range c.buf {
+		out[i] = int32(b)
+	}
+	return out[:len(ops)], nil
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is a fixed-layout log-linear latency histogram in the HDR
+// style: durations bucket by power-of-two magnitude with histSub linear
+// sub-buckets per octave, covering 1 ns to ~1.2 min with a worst-case
+// quantile error of 1/histSub (6.25%). The layout is fixed so histograms
+// merge by bucket-wise addition — each load-generator client records into
+// its own and the report merges them, avoiding hot-path locks.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type Histogram struct {
+	count   uint64
+	sum     int64
+	max     int64
+	buckets [histBuckets]uint64
+}
+
+const (
+	histSub     = 16 // linear sub-buckets per octave: 2^4 ⇒ 6.25% resolution
+	histSubBits = 4
+	histOctaves = 36 // 2^36 ns ≈ 69 s ceiling
+	histBuckets = histOctaves * histSub
+)
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	// Values below one full octave of sub-buckets land in the linear
+	// region, one bucket per nanosecond.
+	if ns < histSub {
+		return int(ns)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(ns)) // floor(log2 ns), >= histSubBits
+	sub := int(ns>>(uint(exp)-histSubBits)) - histSub
+	idx := (exp-histSubBits+1)*histSub + sub
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound (ns) of a bucket — the
+// value quantile queries report.
+func bucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := idx/histSub + histSubBits - 1
+	sub := idx%histSub + histSub
+	return (int64(sub+1) << (uint(exp) - histSubBits)) - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	h.buckets[bucketIndex(ns)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]), accurate
+// to one sub-bucket (6.25%). The exact recorded maximum is returned for
+// q = 1.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	// Nearest-rank on the cumulative counts.
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }

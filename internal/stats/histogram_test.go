@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketLayout(t *testing.T) {
+	// Every nanosecond value must land in a bucket whose bounds contain
+	// it, and bucket indexes must be monotone in the value.
+	prev := -1
+	for _, ns := range []int64{0, 1, 5, 15, 16, 17, 31, 32, 100, 1023, 1024, 5e3, 1e6, 1e9, 7e10} {
+		idx := bucketIndex(ns)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d, below previous %d — not monotone", ns, idx, prev)
+		}
+		prev = idx
+		if up := bucketUpper(idx); up < ns {
+			// The top bucket saturates; everything else must bound.
+			if idx != histBuckets-1 {
+				t.Fatalf("bucketUpper(%d) = %d < value %d", idx, up, ns)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantilesWithinResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var exact []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies from 1 µs to 100 ms — the shape a mixed
+		// local/remote load generator sees.
+		ns := int64(1000 * pow10(rng.Float64()*5))
+		h.Observe(time.Duration(ns))
+		exact = append(exact, float64(ns))
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := exact[int(q*float64(len(exact)))]
+		if got < want*0.9 || got > want*1.13 {
+			t.Fatalf("q%.3f: histogram %v, exact %v — outside the 6.25%% design resolution", q, got, want)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q1 = %v, want exact max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	return r * (1 + x*9) // crude but monotone; only the spread matters
+}
+
+func TestHistogramMergeEqualsCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, all Histogram
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1e7))
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() || a.Max() != all.Max() {
+		t.Fatalf("merged summary (%d, %v, %v) != combined (%d, %v, %v)",
+			a.Count(), a.Mean(), a.Max(), all.Count(), all.Mean(), all.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%v: merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-5) // clock skew: clamp, don't corrupt
+	h.Observe(90 * time.Minute)
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+	if h.Quantile(0) == 0 && h.Quantile(1) != 90*time.Minute {
+		t.Fatalf("max not preserved beyond the bucket ceiling: %v", h.Quantile(1))
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
