@@ -5,31 +5,42 @@
 // the observed outcome back, and uses the server's answer as the next
 // frame's rate.
 //
+// Any registered algorithm can be served (-algo), and "-algo all" (or a
+// comma list) runs a head-to-head: identical trace.FramesMix sequences
+// replayed through every named algorithm concurrently against one store,
+// with per-algorithm throughput, latency and chosen-rate distributions.
+//
 // Usage:
 //
 //	softrate-loadgen -clients 4 -links 10000 -duration 10s          # in-process server
 //	softrate-loadgen -addr 127.0.0.1:7447 -clients 8 -links 100000  # against softrated
 //	softrate-loadgen -mix hidden -verify                            # hidden-terminal mix + determinism check
+//	softrate-loadgen -algo all -verify                              # §6.1 head-to-head, every decision checked
+//	softrate-loadgen -format json -bench-out BENCH_loadgen.json     # machine-readable report
 //
 // With -verify every decision is checked byte-for-byte against a bare
-// per-link core.SoftRate controller fed the identical feedback sequence —
-// the acceptance property of the decision service, including across TTL
-// evictions (archived state makes them transparent).
+// per-link ctl controller fed the identical feedback sequence — the
+// acceptance property of the decision service, for every algorithm,
+// including across TTL evictions (archived state makes them transparent).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
+	"softrate/internal/rate"
 	"softrate/internal/server"
 	"softrate/internal/stats"
 	"softrate/internal/trace"
@@ -37,6 +48,7 @@ import (
 
 type options struct {
 	addr     string
+	algo     string
 	clients  int
 	links    int
 	duration time.Duration
@@ -48,13 +60,16 @@ type options struct {
 	seed     int64
 	verify   bool
 	minRate  float64
+	format   string
+	benchOut string
 }
 
 func main() {
 	var opt options
 	flag.StringVar(&opt.addr, "addr", "", "softrated TCP address; empty runs an in-process server")
-	flag.IntVar(&opt.clients, "clients", 4, "concurrent load-generating clients")
-	flag.IntVar(&opt.links, "links", 10000, "concurrent links across all clients")
+	flag.StringVar(&opt.algo, "algo", "softrate", "algorithm(s) to drive: one of "+strings.Join(ctl.Names(), "|")+", a comma list, or 'all' (head-to-head over identical trace replays)")
+	flag.IntVar(&opt.clients, "clients", 4, "concurrent load-generating clients per algorithm")
+	flag.IntVar(&opt.links, "links", 10000, "concurrent links per algorithm")
 	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "run length")
 	flag.IntVar(&opt.batch, "batch", 128, "feedback records per request batch")
 	flag.StringVar(&opt.mix, "mix", "mobile", "workload mix: clean | mobile | hidden")
@@ -63,13 +78,19 @@ func main() {
 	flag.Float64Var(&opt.idleFrac, "idle-frac", 0.1, "fraction of links that transmit rarely (exercises eviction)")
 	flag.Int64Var(&opt.seed, "seed", 1, "base PRNG seed (trace generation and replay)")
 	flag.BoolVar(&opt.verify, "verify", false, "check every decision against a bare per-link controller (with -addr the server must be fresh: reused link IDs carry state from earlier runs)")
-	flag.Float64Var(&opt.minRate, "min-rate", 0, "fail unless this many decisions/sec are sustained")
+	flag.Float64Var(&opt.minRate, "min-rate", 0, "fail unless this many decisions/sec are sustained (summed over algorithms)")
+	flag.StringVar(&opt.format, "format", "text", "report format: text | json")
+	flag.StringVar(&opt.benchOut, "bench-out", "", "also write the JSON report to this file (e.g. BENCH_loadgen.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if opt.clients < 1 || opt.links < opt.clients || opt.batch < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: need clients >= 1, links >= clients, batch >= 1")
+		os.Exit(2)
+	}
+	if opt.format != "text" && opt.format != "json" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -format %q (want text | json)\n", opt.format)
 		os.Exit(2)
 	}
 
@@ -106,6 +127,31 @@ func main() {
 	}
 }
 
+// algosFor resolves the -algo flag into registry specs.
+func algosFor(arg string) ([]ctl.Spec, error) {
+	if arg == "all" {
+		return ctl.Specs(), nil
+	}
+	var out []ctl.Spec
+	seen := map[ctl.Algo]bool{}
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		spec, ok := ctl.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown algorithm %q (registered: %s)", name, strings.Join(ctl.Names(), ", "))
+		}
+		if seen[spec.ID] {
+			return nil, fmt.Errorf("algorithm %q listed twice", name)
+		}
+		seen[spec.ID] = true
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no algorithms in %q", arg)
+	}
+	return out, nil
+}
+
 // decider abstracts the two transports.
 type decider interface {
 	Decide(ops []linkstore.Op, out []int32) ([]int32, error)
@@ -123,12 +169,20 @@ func (t tcpDecider) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
 	return t.cli.Decide(ops, out)
 }
 
+// maxRates bounds the chosen-rate distribution (the full Table 2 set).
+const maxRates = 8
+
 // link is one replayed sender.
 type link struct {
 	id   uint64
+	algo ctl.Algo
 	iter *trace.FrameIter
 	rate int32
-	bare *core.SoftRate
+	bare ctl.Controller
+	// bareSoft, when bare is a SoftRate controller, skips the interface
+	// dispatch on the (hot) verify path — mirroring the store's own
+	// SoftRate fast path so -verify measures the service, not the checker.
+	bareSoft *core.SoftRate
 
 	// Bursty links send one frame, then stay silent for idleGap — long
 	// enough to cross the server's TTL, so they exercise eviction and
@@ -138,14 +192,51 @@ type link struct {
 }
 
 type clientResult struct {
-	decisions uint64
-	mismatch  string
-	err       error
-	lat       stats.Histogram
+	decisions  uint64
+	mismatch   string
+	err        error
+	lat        stats.Histogram
+	rateCounts [maxRates]uint64
+}
+
+// algoReport is one algorithm's slice of the machine-readable report.
+type algoReport struct {
+	Algo            string   `json:"algo"`
+	Decisions       uint64   `json:"decisions"`
+	DecisionsPerSec float64  `json:"decisions_per_sec"`
+	P50Ns           int64    `json:"batch_p50_ns"`
+	P99Ns           int64    `json:"batch_p99_ns"`
+	MaxNs           int64    `json:"batch_max_ns"`
+	RateCounts      []uint64 `json:"rate_counts"`
+	StateBytes      int      `json:"state_bytes"`
+	// Store churn, per algorithm (in-process servers only).
+	Creates   uint64 `json:"store_creates,omitempty"`
+	Restores  uint64 `json:"store_restores,omitempty"`
+	Evictions uint64 `json:"store_evictions,omitempty"`
+	Live      int    `json:"store_live,omitempty"`
+	Archived  int    `json:"store_archived,omitempty"`
+}
+
+// benchReport is the -format json / -bench-out artifact.
+type benchReport struct {
+	Transport       string       `json:"transport"`
+	Mix             string       `json:"mix"`
+	LinksPerAlgo    int          `json:"links_per_algo"`
+	ClientsPerAlgo  int          `json:"clients_per_algo"`
+	Batch           int          `json:"batch"`
+	ElapsedSec      float64      `json:"elapsed_sec"`
+	TotalDecisions  uint64       `json:"total_decisions"`
+	DecisionsPerSec float64      `json:"decisions_per_sec"`
+	Verified        bool         `json:"verified"`
+	Algos           []algoReport `json:"algos"`
 }
 
 func run(opt options) error {
 	mix, err := mixFor(opt.mix)
+	if err != nil {
+		return err
+	}
+	algos, err := algosFor(opt.algo)
 	if err != nil {
 		return err
 	}
@@ -163,40 +254,58 @@ func run(opt options) error {
 		transport = "in-process"
 	}
 
-	// Partition links across clients.
-	clients := make([][]*link, opt.clients)
+	// Per algorithm: the same link population, the same per-link trace
+	// iterator seeds — identical FramesMix sequences head-to-head — but
+	// disjoint link IDs, so one store serves the full mix.
 	idleGap := 2 * opt.ttl
 	if idleGap <= 0 {
 		idleGap = time.Second
 	}
-	for i := 0; i < opt.links; i++ {
-		lt := traces[i%len(traces)]
-		l := &link{
-			id:   uint64(i) + 1,
-			iter: lt.FramesMix(opt.seed+int64(i)*7919, mix),
+	clients := make([][]*link, len(algos)*opt.clients)
+	for ai, spec := range algos {
+		for i := 0; i < opt.links; i++ {
+			lt := traces[i%len(traces)]
+			l := &link{
+				id:   uint64(ai+1)<<40 | uint64(i+1),
+				algo: spec.ID,
+				iter: lt.FramesMix(opt.seed+int64(i)*7919, mix),
+			}
+			if float64(i) < opt.idleFrac*float64(opt.links) {
+				l.idleGap = idleGap
+			}
+			if opt.verify {
+				if spec.ID == ctl.AlgoSoftRate {
+					// Keep the SoftRate checkers as bare core controllers,
+					// allocated densely: -verify doubles the per-decision
+					// controller work, and the checker should not dominate
+					// what the run measures.
+					l.bareSoft = core.New(core.DefaultConfig())
+				} else {
+					l.bare = spec.New()
+				}
+			}
+			c := ai*opt.clients + i%opt.clients
+			clients[c] = append(clients[c], l)
 		}
-		if float64(i) < opt.idleFrac*float64(opt.links) {
-			l.idleGap = idleGap
-		}
-		if opt.verify {
-			l.bare = core.New(core.DefaultConfig())
-		}
-		clients[i%opt.clients] = append(clients[i%opt.clients], l)
 	}
 
-	fmt.Fprintf(os.Stderr, "loadgen: %d clients x ~%d links, batch %d, %v via %s\n",
-		opt.clients, opt.links/opt.clients, opt.batch, opt.duration, transport)
+	names := make([]string, len(algos))
+	for i, s := range algos {
+		names[i] = s.Name
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %s x %d clients x ~%d links, batch %d, %v via %s\n",
+		strings.Join(names, "+"), opt.clients, opt.links/opt.clients, opt.batch, opt.duration, transport)
 	if opt.verify && srv == nil {
-		fmt.Fprintln(os.Stderr, "loadgen: note: -verify against a remote server assumes link IDs 1..links are fresh; a server that already served them will (correctly) report mismatches")
+		fmt.Fprintln(os.Stderr, "loadgen: note: -verify against a remote server assumes these link IDs are fresh; a server that already served them will (correctly) report mismatches")
 	}
 
 	var stop atomic.Bool
 	time.AfterFunc(opt.duration, func() { stop.Store(true) })
 
-	results := make([]clientResult, opt.clients)
+	results := make([]clientResult, len(clients))
 	var wg sync.WaitGroup
 	start := time.Now()
-	for c := 0; c < opt.clients; c++ {
+	for c := range clients {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
@@ -218,23 +327,101 @@ func run(opt options) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Fold per-client results into per-algorithm reports (clients are
+	// grouped by algorithm, so latency histograms attribute cleanly).
 	var total uint64
-	var lat stats.Histogram
-	for c := range results {
-		if results[c].err != nil {
-			return results[c].err
+	report := benchReport{
+		Transport:      transport,
+		Mix:            opt.mix,
+		LinksPerAlgo:   opt.links,
+		ClientsPerAlgo: opt.clients,
+		Batch:          opt.batch,
+		ElapsedSec:     elapsed.Seconds(),
+		Verified:       opt.verify,
+	}
+	var storeStats *linkstore.Stats
+	if srv != nil {
+		s := srv.Stats().Store
+		storeStats = &s
+	}
+	for ai, spec := range algos {
+		var lat stats.Histogram
+		ar := algoReport{Algo: spec.Name, StateBytes: spec.StateLen, RateCounts: make([]uint64, maxRates)}
+		for c := ai * opt.clients; c < (ai+1)*opt.clients; c++ {
+			r := &results[c]
+			if r.err != nil {
+				return r.err
+			}
+			if r.mismatch != "" {
+				return fmt.Errorf("determinism violation: %s", r.mismatch)
+			}
+			ar.Decisions += r.decisions
+			lat.Merge(&r.lat)
+			for k := range r.rateCounts {
+				ar.RateCounts[k] += r.rateCounts[k]
+			}
 		}
-		if results[c].mismatch != "" {
-			return fmt.Errorf("determinism violation: %s", results[c].mismatch)
+		ar.DecisionsPerSec = float64(ar.Decisions) / elapsed.Seconds()
+		ar.P50Ns = int64(lat.Quantile(0.5))
+		ar.P99Ns = int64(lat.Quantile(0.99))
+		ar.MaxNs = int64(lat.Max())
+		if storeStats != nil {
+			for _, as := range storeStats.Algos {
+				if as.Algo == spec.ID {
+					ar.Creates, ar.Restores, ar.Evictions = as.Creates, as.Restores, as.Evictions
+					ar.Live, ar.Archived = as.Live, as.Archived
+				}
+			}
 		}
-		total += results[c].decisions
-		lat.Merge(&results[c].lat)
+		total += ar.Decisions
+		report.Algos = append(report.Algos, ar)
+	}
+	report.TotalDecisions = total
+	report.DecisionsPerSec = float64(total) / elapsed.Seconds()
+
+	if opt.benchOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opt.benchOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 
-	rate := float64(total) / elapsed.Seconds()
-	fmt.Printf("decisions: %d in %.1fs = %.0f decisions/sec\n", total, elapsed.Seconds(), rate)
-	fmt.Printf("latency per batch of %d: p50=%v p99=%v max=%v\n",
-		opt.batch, lat.Quantile(0.5), lat.Quantile(0.99), lat.Max())
+	if opt.format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		printText(report, srv, opt)
+	}
+
+	if opt.minRate > 0 && report.DecisionsPerSec < opt.minRate {
+		return fmt.Errorf("sustained %.0f decisions/sec, below the required %.0f", report.DecisionsPerSec, opt.minRate)
+	}
+	return nil
+}
+
+func printText(rep benchReport, srv *server.Server, opt options) {
+	fmt.Printf("decisions: %d in %.1fs = %.0f decisions/sec\n",
+		rep.TotalDecisions, rep.ElapsedSec, rep.DecisionsPerSec)
+	for _, ar := range rep.Algos {
+		fmt.Printf("%-11s %9d decisions (%.0f/sec) | batch p50=%v p99=%v max=%v | state %dB\n",
+			ar.Algo+":", ar.Decisions, ar.DecisionsPerSec,
+			time.Duration(ar.P50Ns), time.Duration(ar.P99Ns), time.Duration(ar.MaxNs), ar.StateBytes)
+		fmt.Printf("            rates")
+		for k := 0; k < rate.Count(); k++ {
+			fmt.Printf(" %d:%d", k, ar.RateCounts[k])
+		}
+		fmt.Println()
+		if srv != nil {
+			fmt.Printf("            store creates=%d restores=%d evictions=%d live=%d archived=%d\n",
+				ar.Creates, ar.Restores, ar.Evictions, ar.Live, ar.Archived)
+		}
+	}
 	if srv != nil {
 		st := srv.Stats()
 		fmt.Printf("store: live=%d archived=%d evictions=%d creates=%d restores=%d\n",
@@ -245,12 +432,8 @@ func run(opt options) error {
 		fmt.Println("store: n/a (remote server; see softrated -stats)")
 	}
 	if opt.verify {
-		fmt.Printf("verify: %d decisions byte-identical to bare controllers\n", total)
+		fmt.Printf("verify: %d decisions byte-identical to bare controllers\n", rep.TotalDecisions)
 	}
-	if opt.minRate > 0 && rate < opt.minRate {
-		return fmt.Errorf("sustained %.0f decisions/sec, below the required %.0f", rate, opt.minRate)
-	}
-	return nil
 }
 
 // drive runs one client's replay loop until stop flips.
@@ -265,6 +448,7 @@ func drive(d decider, links []*link, opt options, stop *atomic.Bool) clientResul
 		ops = ops[:0]
 		batch = batch[:0]
 		skipped = 0
+		now := time.Now() // one clock read per batch: idle gaps are coarse
 		for len(ops) < opt.batch {
 			l := links[cursor]
 			cursor++
@@ -272,7 +456,7 @@ func drive(d decider, links []*link, opt options, stop *atomic.Bool) clientResul
 				cursor = 0
 			}
 			if l.idleGap > 0 {
-				if now := time.Now(); now.Before(l.nextAt) {
+				if now.Before(l.nextAt) {
 					// All-idle guard: don't spin forever filling a batch
 					// no link is willing to join.
 					if skipped++; skipped > 2*len(links) {
@@ -292,9 +476,12 @@ func drive(d decider, links []*link, opt options, stop *atomic.Bool) clientResul
 			}
 			ops = append(ops, linkstore.Op{
 				LinkID:    l.id,
+				Algo:      l.algo,
 				Kind:      ev.Kind,
 				RateIndex: int32(ev.RateIndex),
 				BER:       ev.BER,
+				SNRdB:     float32(ev.SNRdB),
+				Delivered: ev.Delivered,
 			})
 			batch = append(batch, l)
 		}
@@ -311,11 +498,26 @@ func drive(d decider, links []*link, opt options, stop *atomic.Bool) clientResul
 		res.decisions += uint64(len(ops))
 		for i, l := range batch {
 			l.rate = out[i]
-			if l.bare != nil {
-				want := l.bare.Apply(ops[i].Kind, int(ops[i].RateIndex), ops[i].BER)
+			if ri := out[i]; ri >= 0 && int(ri) < maxRates {
+				res.rateCounts[ri]++
+			}
+			if l.bare != nil || l.bareSoft != nil {
+				var want int
+				if l.bareSoft != nil {
+					want = l.bareSoft.Apply(ops[i].Kind, int(ops[i].RateIndex), ops[i].BER)
+				} else {
+					want = l.bare.Apply(ctl.Feedback{
+						Kind:      ops[i].Kind,
+						RateIndex: int(ops[i].RateIndex),
+						BER:       ops[i].BER,
+						SNRdB:     float64(ops[i].SNRdB),
+						Airtime:   float64(ops[i].Airtime),
+						Delivered: ops[i].Delivered,
+					})
+				}
 				if int32(want) != out[i] {
-					res.mismatch = fmt.Sprintf("link %d: server decided %d, bare controller %d (op %+v)",
-						l.id, out[i], want, ops[i])
+					res.mismatch = fmt.Sprintf("algo %d link %d: server decided %d, bare controller %d (op %+v)",
+						l.algo, l.id, out[i], want, ops[i])
 					return res
 				}
 			}

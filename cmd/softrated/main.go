@@ -17,9 +17,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
 	"softrate/internal/server"
 )
@@ -27,6 +29,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":7447", "TCP listen address")
+		algo        = flag.String("algo", "softrate", "default algorithm for links whose feedback doesn't name one ("+strings.Join(ctl.Names(), "|")+"); v2 records may select any registered algorithm per link")
 		shards      = flag.Int("shards", 64, "lock stripes in the link store (rounded up to a power of two)")
 		ttl         = flag.Duration("ttl", 60*time.Second, "idle TTL before a link is evicted from the hot map (0 = never)")
 		dropOnEvict = flag.Bool("drop-on-evict", false, "discard evicted link state instead of archiving it")
@@ -34,8 +37,15 @@ func main() {
 	)
 	flag.Parse()
 
+	spec, ok := ctl.ByName(*algo)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "softrated: unknown -algo %q (registered: %s)\n", *algo, strings.Join(ctl.Names(), ", "))
+		os.Exit(2)
+	}
+
 	srv := server.New(server.Config{Store: linkstore.Config{
 		Shards:      *shards,
+		DefaultAlgo: spec.ID,
 		TTL:         *ttl,
 		DropOnEvict: *dropOnEvict,
 	}})
@@ -45,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "softrated: listening on %s (%d shards, ttl %v)\n", l.Addr(), *shards, *ttl)
+	fmt.Fprintf(os.Stderr, "softrated: listening on %s (%d shards, ttl %v, default algo %s)\n", l.Addr(), *shards, *ttl, spec.Name)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()

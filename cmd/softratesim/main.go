@@ -17,6 +17,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/netsim"
 	"softrate/internal/ofdm"
 	"softrate/internal/rate"
@@ -36,30 +37,30 @@ func lossless() []float64 {
 func factoryFor(alg string) (netsim.AdapterFactory, error) {
 	switch alg {
 	case "softrate":
-		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSoftRate(core.DefaultConfig())
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.NewSoftRate(core.DefaultConfig())
 		}, nil
 	case "omniscient":
-		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return &ratectl.Omniscient{Oracle: fwd.BestRateAt}
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(&ratectl.Omniscient{Oracle: fwd.BestRateAt})
 		}, nil
 	case "snr":
-		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
 			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
-			return ratectl.NewSNRBased(th, "SNR (trained)")
+			return ctl.Wrap(ratectl.NewSNRBased(th, "SNR (trained)"))
 		}, nil
 	case "charm":
-		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
 			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
-			return ratectl.NewCHARM(th)
+			return ctl.Wrap(ratectl.NewCHARM(th))
 		}, nil
 	case "rraa":
-		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewRRAA(rate.Evaluation(), lossless(), true)
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewRRAA(rate.Evaluation(), lossless(), true))
 		}, nil
 	case "samplerate":
-		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSampleRate(rate.Evaluation(), lossless(), rand.New(rand.NewSource(rng.Int63())))
+		return func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewSampleRate(rate.Evaluation(), lossless(), rand.New(rand.NewSource(rng.Int63()))))
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", alg)

@@ -18,6 +18,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/netsim"
 	"softrate/internal/ofdm"
 	"softrate/internal/phy"
@@ -114,11 +115,11 @@ func part2ThroughputContest() {
 		fmt.Println()
 	}
 
-	run("SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-		return ratectl.NewSoftRate(core.DefaultConfig())
+	run("SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+		return ctl.NewSoftRate(core.DefaultConfig())
 	})
-	run("RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-		return ratectl.NewRRAA(rate.Evaluation(), lossless, true)
+	run("RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+		return ctl.Wrap(ratectl.NewRRAA(rate.Evaluation(), lossless, true))
 	})
 	fmt.Println("\nThe shape to look for (paper §6.4): RRAA underselects and loses")
 	fmt.Println("throughput; SoftRate stays at the channel's true best rate.")

@@ -17,6 +17,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/netsim"
 	"softrate/internal/ofdm"
 	"softrate/internal/rate"
@@ -48,21 +49,21 @@ func main() {
 		name    string
 		factory netsim.AdapterFactory
 	}{
-		{"Omniscient", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return &ratectl.Omniscient{Oracle: f.BestRateAt}
+		{"Omniscient", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(&ratectl.Omniscient{Oracle: f.BestRateAt})
 		}},
-		{"SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSoftRate(core.DefaultConfig())
+		{"SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.NewSoftRate(core.DefaultConfig())
 		}},
-		{"SNR-trained", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		{"SNR-trained", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
 			th := ratectl.TrainThresholds(f.TrainingSamples(), f.NumRates(), 0.9)
-			return ratectl.NewSNRBased(th, "SNR (trained)")
+			return ctl.Wrap(ratectl.NewSNRBased(th, "SNR (trained)"))
 		}},
-		{"RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewRRAA(rate.Evaluation(), lossless, true)
+		{"RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewRRAA(rate.Evaluation(), lossless, true))
 		}},
-		{"SampleRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSampleRate(rate.Evaluation(), lossless, rand.New(rand.NewSource(rng.Int63())))
+		{"SampleRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewSampleRate(rate.Evaluation(), lossless, rand.New(rand.NewSource(rng.Int63()))))
 		}},
 	}
 

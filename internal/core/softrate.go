@@ -194,22 +194,30 @@ type State struct {
 	SilentRun int32
 }
 
+// band holds one rate's optimal-BER threshold range (α_i, β_i). The two
+// thresholds are read together on every feedback, so they share a struct
+// (and almost always a cache line) rather than living in parallel slices
+// — the decision service cycles through many cold controllers per batch
+// and pays for every line a decision touches.
+type band struct {
+	alpha, beta float64
+}
+
 // SoftRate is the sender-side algorithm state.
 type SoftRate struct {
 	cfg       Config
 	cur       int
 	silentRun int
 
-	alpha []float64 // increase thresholds α_i
-	beta  []float64 // decrease thresholds β_i
+	bands []band // per-rate (α_i, β_i)
 
-	// Precomputed multi-level jump thresholds, indexed [rate][extra-1]:
-	// downJump[i][n-1] = β_i·DownMargin^n and upJump[i][n-1] = β_i/UpMargin^(n+1)
-	// for n in 1..MaxJump-1. Precomputing keeps math.Pow out of the
-	// per-feedback hot path, which must stay allocation-free and branch-cheap
-	// for the decision service.
-	downJump [][]float64
-	upJump   [][]float64
+	// Precomputed multi-level jump thresholds, flattened with stride
+	// MaxJump-1: downJump[i*stride+n-1] = β_i·DownMargin^n and
+	// upJump[i*stride+n-1] = β_i/UpMargin^(n+1) for n in 1..MaxJump-1.
+	// Precomputing keeps math.Pow out of the per-feedback hot path, which
+	// must stay allocation-free and branch-cheap for the decision service.
+	downJump []float64
+	upJump   []float64
 }
 
 // New builds a SoftRate instance starting at the lowest rate.
@@ -236,18 +244,16 @@ func New(cfg Config) *SoftRate {
 		cfg.SilentLossRun = 3
 	}
 	s := &SoftRate{cfg: cfg}
-	s.alpha = make([]float64, len(cfg.Rates))
-	s.beta = make([]float64, len(cfg.Rates))
-	s.downJump = make([][]float64, len(cfg.Rates))
-	s.upJump = make([][]float64, len(cfg.Rates))
+	stride := cfg.MaxJump - 1
+	s.bands = make([]band, len(cfg.Rates))
+	s.downJump = make([]float64, len(cfg.Rates)*stride)
+	s.upJump = make([]float64, len(cfg.Rates)*stride)
 	for i, r := range cfg.Rates {
-		s.beta[i] = cfg.Recovery.UpperBER(r, cfg.FrameBits)
-		s.alpha[i] = s.beta[i] / cfg.UpMargin
-		s.downJump[i] = make([]float64, cfg.MaxJump-1)
-		s.upJump[i] = make([]float64, cfg.MaxJump-1)
+		beta := cfg.Recovery.UpperBER(r, cfg.FrameBits)
+		s.bands[i] = band{alpha: beta / cfg.UpMargin, beta: beta}
 		for n := 1; n < cfg.MaxJump; n++ {
-			s.downJump[i][n-1] = s.beta[i] * math.Pow(cfg.DownMargin, float64(n))
-			s.upJump[i][n-1] = s.beta[i] / math.Pow(cfg.UpMargin, float64(n+1))
+			s.downJump[i*stride+n-1] = beta * math.Pow(cfg.DownMargin, float64(n))
+			s.upJump[i*stride+n-1] = beta / math.Pow(cfg.UpMargin, float64(n+1))
 		}
 	}
 	return s
@@ -262,7 +268,7 @@ func (s *SoftRate) CurrentIndex() int { return s.cur }
 // Thresholds exposes (α_i, β_i) for rate index i, mainly for tests,
 // documentation and the threshold-ablation bench.
 func (s *SoftRate) Thresholds(i int) (alpha, beta float64) {
-	return s.alpha[i], s.beta[i]
+	return s.bands[i].alpha, s.bands[i].beta
 }
 
 // OnFeedback processes one per-frame BER feedback and adjusts the rate in
@@ -287,20 +293,22 @@ func (s *SoftRate) OnFeedback(fb Feedback) {
 		i = s.cur
 	}
 	b := fb.BER
+	th := s.bands[i]
+	stride := s.cfg.MaxJump - 1
 	switch {
-	case b > s.beta[i]:
+	case b > th.beta:
 		// Jump n levels down while the BER exceeds β_i by DownMargin per
 		// extra level.
 		n := 1
-		for n < s.cfg.MaxJump && b > s.downJump[i][n-1] {
+		for n < s.cfg.MaxJump && b > s.downJump[i*stride+n-1] {
 			n++
 		}
 		s.cur = clamp(i-n, 0, len(s.cfg.Rates)-1)
-	case b < s.alpha[i]:
+	case b < th.alpha:
 		// Jump n levels up while the BER clears α_i by UpMargin per
 		// extra level.
 		n := 1
-		for n < s.cfg.MaxJump && b < s.upJump[i][n-1] {
+		for n < s.cfg.MaxJump && b < s.upJump[i*stride+n-1] {
 			n++
 		}
 		s.cur = clamp(i+n, 0, len(s.cfg.Rates)-1)

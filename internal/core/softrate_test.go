@@ -228,7 +228,7 @@ func TestConvergenceFromConstantChannelBER(t *testing.T) {
 		// Optimal rate: the highest one whose BER is below its beta.
 		opt := 0
 		for i := range s.cfg.Rates {
-			if berAt(i) < s.beta[i] {
+			if berAt(i) < s.bands[i].beta {
 				opt = i
 			}
 		}
@@ -417,15 +417,16 @@ func TestPrecomputedJumpThresholdsMatchFormula(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxJump = 4
 	s := New(cfg)
+	stride := cfg.MaxJump - 1
 	for i := range s.cfg.Rates {
 		for n := 1; n < cfg.MaxJump; n++ {
-			wantDown := s.beta[i] * math.Pow(cfg.DownMargin, float64(n))
-			wantUp := s.beta[i] / math.Pow(cfg.UpMargin, float64(n+1))
-			if s.downJump[i][n-1] != wantDown {
-				t.Fatalf("downJump[%d][%d] = %v, want %v", i, n-1, s.downJump[i][n-1], wantDown)
+			wantDown := s.bands[i].beta * math.Pow(cfg.DownMargin, float64(n))
+			wantUp := s.bands[i].beta / math.Pow(cfg.UpMargin, float64(n+1))
+			if s.downJump[i*stride+n-1] != wantDown {
+				t.Fatalf("downJump[%d][%d] = %v, want %v", i, n-1, s.downJump[i*stride+n-1], wantDown)
 			}
-			if s.upJump[i][n-1] != wantUp {
-				t.Fatalf("upJump[%d][%d] = %v, want %v", i, n-1, s.upJump[i][n-1], wantUp)
+			if s.upJump[i*stride+n-1] != wantUp {
+				t.Fatalf("upJump[%d][%d] = %v, want %v", i, n-1, s.upJump[i*stride+n-1], wantUp)
 			}
 		}
 	}

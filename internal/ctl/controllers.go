@@ -1,0 +1,338 @@
+package ctl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"softrate/internal/core"
+	"softrate/internal/ofdm"
+	"softrate/internal/phy"
+	"softrate/internal/rate"
+	"softrate/internal/ratectl"
+)
+
+// nominalFrameBytes is the frame size behind every serving-configuration
+// constant: the paper's 1400-byte evaluation frame.
+const nominalFrameBytes = 1400
+
+// servingWindowCap bounds SampleRate's per-rate sample ring in the
+// serving configuration: the averaging metric sees at most the last 16
+// transmissions per rate, which keeps the relocatable snapshot at a fixed
+// ~1.7 KB instead of the simulators' unbounded in-window sample set.
+const servingWindowCap = 16
+
+var (
+	nominalOnce     sync.Once
+	nominalAirtime  []float64
+	servingSNROnce  sync.Once
+	servingSNRThres []float64
+)
+
+// NominalAirtimes returns the lossless airtime of a 1400-byte frame at
+// each evaluation rate in simulation mode — the constant vector SampleRate
+// and RRAA derive their thresholds from, and the virtual-clock fallback
+// for feedback that carries no measured airtime.
+func NominalAirtimes() []float64 {
+	nominalOnce.Do(func() {
+		rates := rate.Evaluation()
+		nominalAirtime = make([]float64, len(rates))
+		for i, r := range rates {
+			nominalAirtime[i] = ofdm.Simulation.PayloadAirtime(nominalFrameBytes, r, false)
+		}
+	})
+	out := make([]float64, len(nominalAirtime))
+	copy(out, nominalAirtime)
+	return out
+}
+
+// ServingSNRThresholds returns the registry's SNR/CHARM threshold vector:
+// for each evaluation rate, the lowest SNR (0.5 dB grid) at which the
+// calibrated PHY model predicts at least 90% delivery of a 1400-byte
+// frame over a flat channel. This is the serving-side stand-in for the
+// per-trace training the simulators perform (§6.1): deterministic,
+// derived from the same embedded BERModel the trace generator uses, and
+// therefore "trained on the right environment" for AWGN-like links.
+func ServingSNRThresholds() []float64 {
+	servingSNROnce.Do(func() {
+		rates := rate.Evaluation()
+		bits := float64(nominalFrameBytes * 8)
+		servingSNRThres = make([]float64, len(rates))
+		for i := range rates {
+			th := math.Inf(1)
+			for s := 30.0; s >= -2; s -= 0.5 {
+				p := math.Exp(-phy.DefaultBERModel.LambdaAt(i, s) * bits)
+				if p < 0.9 {
+					break
+				}
+				th = s
+			}
+			servingSNRThres[i] = th
+		}
+		if math.IsInf(servingSNRThres[0], 1) {
+			servingSNRThres[0] = -30 // there must always be a usable rate
+		}
+		for i := 1; i < len(servingSNRThres); i++ {
+			if servingSNRThres[i] < servingSNRThres[i-1] {
+				servingSNRThres[i] = servingSNRThres[i-1]
+			}
+		}
+	})
+	out := make([]float64, len(servingSNRThres))
+	copy(out, servingSNRThres)
+	return out
+}
+
+// --- SoftRate ---
+
+// SoftRate adapts core.SoftRate to the Controller contract. Its snapshot
+// is the same 8 bytes as core.State (rate index and silent-loss run, both
+// int32 little-endian), so the store's SoftRate path stays as small and
+// as fast as it was when the store knew only SoftRate.
+type SoftRate struct {
+	*ratectl.SoftRateAdapter
+}
+
+// NewSoftRate builds a SoftRate controller with the given core config.
+func NewSoftRate(cfg core.Config) *SoftRate {
+	return &SoftRate{ratectl.NewSoftRate(cfg)}
+}
+
+// softRateStateBytes is core.State encoded: RateIndex i32, SilentRun i32.
+const softRateStateBytes = 8
+
+// Apply implements Controller.
+func (c *SoftRate) Apply(fb Feedback) int {
+	return c.SR.Apply(fb.Kind, fb.RateIndex, fb.BER)
+}
+
+// StateLen implements Controller.
+func (c *SoftRate) StateLen() int { return softRateStateBytes }
+
+// EncodeState implements Controller.
+func (c *SoftRate) EncodeState(dst []byte) {
+	st := c.SR.Snapshot()
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(st.RateIndex))
+	binary.LittleEndian.PutUint32(dst[4:8], uint32(st.SilentRun))
+}
+
+// DecodeState implements Controller.
+func (c *SoftRate) DecodeState(src []byte) error {
+	if len(src) < softRateStateBytes {
+		return fmt.Errorf("ctl: SoftRate state is %d bytes, need %d", len(src), softRateStateBytes)
+	}
+	c.SR.Restore(core.State{
+		RateIndex: int32(binary.LittleEndian.Uint32(src[0:4])),
+		SilentRun: int32(binary.LittleEndian.Uint32(src[4:8])),
+	})
+	return nil
+}
+
+// --- clocked: glue for the frame-level ratectl algorithms ---
+
+// stateCodec is the snapshot surface the ratectl algorithms implement.
+type stateCodec interface {
+	StateLen() int
+	EncodeState(dst []byte)
+	DecodeState(src []byte) error
+}
+
+// clocked lifts a ratectl.Adapter into a Controller. The frame-level
+// algorithms reason in transmission time (SampleRate's window, RRAA's
+// ordering), which the decision service does not have — so clocked keeps
+// a per-link virtual clock advanced by each frame's airtime (measured
+// when the feedback carries it, the rate's nominal airtime otherwise) and
+// snapshots the clock alongside the algorithm state, making window
+// arithmetic relocate with the link. codec is nil for stateless adapters
+// (Fixed, Omniscient): their snapshot is just the 8-byte clock.
+type clocked struct {
+	a       ratectl.Adapter
+	codec   stateCodec
+	nominal []float64
+	clock   float64
+}
+
+// Name implements Controller.
+func (c *clocked) Name() string { return c.a.Name() }
+
+// NextRate implements Controller.
+func (c *clocked) NextRate(now float64) int { return c.a.NextRate(now) }
+
+// WantRTS implements Controller.
+func (c *clocked) WantRTS() bool { return c.a.WantRTS() }
+
+// OnResult implements Controller. Simulator-driven results carry their
+// own timestamps; the virtual clock tracks them so a controller moved
+// between the two worlds stays monotonic.
+func (c *clocked) OnResult(res Result) {
+	if res.Time > c.clock {
+		c.clock = res.Time
+	}
+	c.a.OnResult(res)
+}
+
+// Apply implements Controller.
+func (c *clocked) Apply(fb Feedback) int {
+	at := fb.Airtime
+	if !(at > 0) || math.IsInf(at, 0) {
+		ri := fb.RateIndex
+		if ri < 0 {
+			ri = 0
+		}
+		if ri >= len(c.nominal) {
+			ri = len(c.nominal) - 1
+		}
+		at = c.nominal[ri]
+	}
+	c.clock += at
+	res := Result{
+		Time:      c.clock,
+		RateIndex: fb.RateIndex,
+		Airtime:   at,
+		SNRdB:     math.NaN(),
+	}
+	switch fb.Kind {
+	case core.KindBER:
+		res.FeedbackReceived = true
+		res.BER = fb.BER
+		res.SNRdB = fb.SNRdB
+		res.Delivered = fb.Delivered
+	case core.KindCollision:
+		res.FeedbackReceived = true
+		res.Collision = true
+		res.BER = fb.BER
+		res.SNRdB = fb.SNRdB
+	case core.KindPostamble:
+		res.FeedbackReceived = true
+		res.PostambleOnly = true
+	default:
+		// Silent loss (and unknown kinds, read conservatively): no
+		// feedback of any kind.
+	}
+	c.a.OnResult(res)
+	return c.a.NextRate(c.clock)
+}
+
+// clockBytes prefixes every clocked snapshot: the virtual clock as f64.
+const clockBytes = 8
+
+// StateLen implements Controller.
+func (c *clocked) StateLen() int {
+	n := clockBytes
+	if c.codec != nil {
+		n += c.codec.StateLen()
+	}
+	return n
+}
+
+// EncodeState implements Controller.
+func (c *clocked) EncodeState(dst []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], math.Float64bits(c.clock))
+	if c.codec != nil {
+		c.codec.EncodeState(dst[clockBytes:])
+	}
+}
+
+// DecodeState implements Controller.
+func (c *clocked) DecodeState(src []byte) error {
+	if len(src) < c.StateLen() {
+		return fmt.Errorf("ctl: %s state is %d bytes, need %d", c.Name(), len(src), c.StateLen())
+	}
+	c.clock = math.Float64frombits(binary.LittleEndian.Uint64(src[0:8]))
+	if c.codec != nil {
+		return c.codec.DecodeState(src[clockBytes:])
+	}
+	return nil
+}
+
+// Wrap lifts any ratectl.Adapter into a Controller. The frame-level
+// algorithm types get their real relocatable snapshot; unknown adapters
+// (Fixed, Omniscient, experiment oracles) get a clock-only snapshot —
+// fine for simulators, which never relocate, and honest about the fact
+// that an oracle closure cannot be serialized. A value that already is a
+// Controller passes through unchanged.
+func Wrap(a ratectl.Adapter) Controller {
+	switch v := a.(type) {
+	case Controller:
+		return v
+	case *ratectl.SoftRateAdapter:
+		return &SoftRate{v}
+	case *ratectl.SampleRate:
+		return &clocked{a: v, codec: srCodec{v}, nominal: v.LosslessAirtime}
+	case *ratectl.RRAA:
+		return &clocked{a: v, codec: v, nominal: NominalAirtimes()}
+	case *ratectl.SNRBased:
+		return &clocked{a: v, codec: v, nominal: NominalAirtimes()}
+	default:
+		return &clocked{a: a, nominal: NominalAirtimes()}
+	}
+}
+
+// srCodec guards SampleRate's snapshot surface: an unbounded instance
+// (WindowCap 0, the simulator configuration) has no fixed state width, so
+// it is treated as snapshot-less rather than letting StateLen panic deep
+// inside a store.
+type srCodec struct{ s *ratectl.SampleRate }
+
+func (c srCodec) StateLen() int {
+	if c.s.WindowCap <= 0 {
+		return 0
+	}
+	return c.s.StateLen()
+}
+
+func (c srCodec) EncodeState(dst []byte) {
+	if c.s.WindowCap > 0 {
+		c.s.EncodeState(dst)
+	}
+}
+
+func (c srCodec) DecodeState(src []byte) error {
+	if c.s.WindowCap > 0 {
+		return c.s.DecodeState(src)
+	}
+	return nil
+}
+
+// --- registry ---
+
+func init() {
+	nominal := NominalAirtimes
+	Register(Spec{
+		ID: AlgoSoftRate, Name: "softrate", StateLen: softRateStateBytes,
+		New: func() Controller { return NewSoftRate(core.DefaultConfig()) },
+	})
+	srLen := clockBytes + 16 + len(rate.Evaluation())*(2+servingWindowCap*17)
+	Register(Spec{
+		ID: AlgoSampleRate, Name: "samplerate", StateLen: srLen,
+		New: func() Controller {
+			s := ratectl.NewSampleRate(rate.Evaluation(), nominal(), ratectl.NewSplitMix(1))
+			s.WindowCap = servingWindowCap
+			return &clocked{a: s, codec: srCodec{s}, nominal: s.LosslessAirtime}
+		},
+	})
+	Register(Spec{
+		ID: AlgoRRAA, Name: "rraa", StateLen: clockBytes + 8,
+		New: func() Controller {
+			// No adaptive RTS in the serving configuration: the decision
+			// service answers rates, the sender owns its RTS policy.
+			r := ratectl.NewRRAA(rate.Evaluation(), nominal(), false)
+			return &clocked{a: r, codec: r, nominal: nominal()}
+		},
+	})
+	Register(Spec{
+		ID: AlgoSNR, Name: "snr", StateLen: clockBytes + 12,
+		New: func() Controller {
+			s := ratectl.NewSNRBased(ServingSNRThresholds(), "SNR")
+			return &clocked{a: s, codec: s, nominal: nominal()}
+		},
+	})
+	Register(Spec{
+		ID: AlgoCHARM, Name: "charm", StateLen: clockBytes + 12,
+		New: func() Controller {
+			s := ratectl.NewCHARM(ServingSNRThresholds())
+			return &clocked{a: s, codec: s, nominal: nominal()}
+		},
+	})
+}

@@ -1,0 +1,193 @@
+// Package ctl defines the relocatable rate-controller contract that
+// unifies the repository's two controller worlds: the simulator-facing
+// ratectl.Adapter algorithms of §6.1 (SampleRate, RRAA, the SNR-based
+// schemes) and the serving-stack core.SoftRate controller behind
+// linkstore/server/softrated. A Controller is an Adapter that can
+// additionally (a) consume one service-side Feedback and answer with the
+// next rate in a single call, and (b) snapshot and restore its complete
+// dynamic state as a fixed number of bytes — so a store can hold millions
+// of per-link states and rebuild any algorithm's controller on demand,
+// exactly as it always could for SoftRate's 8-byte State.
+//
+// The package also keeps the algorithm registry: each servable algorithm
+// has a stable one-byte ID (part of the softrated v2 wire protocol), a
+// name for CLI flags, a fixed state width, and a constructor producing the
+// canonical serving configuration. Stores, the wire codec, and the load
+// generator all resolve algorithms through it.
+package ctl
+
+import (
+	"fmt"
+	"sort"
+
+	"softrate/internal/core"
+	"softrate/internal/ratectl"
+)
+
+// Result aliases ratectl.Result: every Controller is also a full
+// simulator-side Adapter, so the MAC can drive served algorithms and the
+// service can host simulated ones through one type.
+type Result = ratectl.Result
+
+// Feedback is one frame's worth of sender-side information, the superset
+// every §6.1 algorithm needs: SoftRate reads Kind/RateIndex/BER,
+// SampleRate reads Airtime/Delivered, RRAA reads Delivered, the SNR
+// schemes read SNRdB. Fields an algorithm does not use are ignored — this
+// mirrors reality, where the information exists at the receiver and each
+// protocol chooses which part is fed back.
+type Feedback struct {
+	// Kind is the §3.2 outcome class (BER, collision, silent, postamble).
+	Kind core.FeedbackKind
+	// RateIndex is the rate the frame was sent at.
+	RateIndex int
+	// BER is the interference-free BER estimate (KindBER/KindCollision).
+	BER float64
+	// SNRdB is the receiver's SNR estimate; NaN when unknown (v1 wire
+	// records carry none). Ignored for kinds without a received preamble.
+	SNRdB float64
+	// Airtime is the transmission's airtime in seconds; 0 means unknown
+	// and lets the controller substitute the rate's nominal airtime.
+	Airtime float64
+	// Delivered reports whether the frame body arrived intact.
+	Delivered bool
+}
+
+// Controller is a relocatable per-link rate controller. It is a full
+// simulator Adapter (NextRate/WantRTS/OnResult drive the MAC) plus the
+// decision-service surface: Apply for one-call feedback→rate, and a
+// fixed-width binary snapshot of the dynamic state.
+type Controller interface {
+	// Name identifies the algorithm in experiment output and logs.
+	Name() string
+	// NextRate returns the rate index to use for the next frame.
+	NextRate(now float64) int
+	// WantRTS reports whether the next frame should use RTS/CTS.
+	WantRTS() bool
+	// OnResult feeds back the outcome of a simulated transmission.
+	OnResult(res Result)
+
+	// Apply consumes one service-side feedback and returns the rate index
+	// for the link's next frame.
+	Apply(fb Feedback) int
+	// StateLen is the snapshot width in bytes — fixed per configuration,
+	// never a function of the dynamic state.
+	StateLen() int
+	// EncodeState writes the dynamic state into dst[:StateLen()].
+	EncodeState(dst []byte)
+	// DecodeState overwrites the dynamic state from src[:StateLen()]. A
+	// Decode → Apply → Encode cycle through any Controller built by the
+	// same constructor is byte-identical in its decisions to a long-lived
+	// instance.
+	DecodeState(src []byte) error
+}
+
+// Algo is a registered algorithm's stable one-byte ID. IDs are part of
+// the softrated v2 wire protocol — never renumber.
+type Algo uint8
+
+const (
+	// AlgoDefault means "whatever the store is configured to default to";
+	// it is what v1 wire records and zero-valued ops carry.
+	AlgoDefault Algo = 0
+	// AlgoSoftRate is the paper's §3.3 algorithm (core.SoftRate).
+	AlgoSoftRate Algo = 1
+	// AlgoSampleRate is Bicket's SampleRate [4].
+	AlgoSampleRate Algo = 2
+	// AlgoRRAA is Robust Rate Adaptation [24].
+	AlgoRRAA Algo = 3
+	// AlgoSNR is the per-frame RBAR-like SNR protocol [10].
+	AlgoSNR Algo = 4
+	// AlgoCHARM is the averaged-SNR variant [13].
+	AlgoCHARM Algo = 5
+)
+
+// Spec describes one registered algorithm.
+type Spec struct {
+	// ID is the wire-stable algorithm ID.
+	ID Algo
+	// Name is the CLI/registry name (lower-case, no spaces).
+	Name string
+	// StateLen is the fixed snapshot width of controllers built by New.
+	StateLen int
+	// New builds a controller in the canonical serving configuration.
+	// Controllers from one Spec are interchangeable up to their encoded
+	// state.
+	New func() Controller
+}
+
+var (
+	registry   = map[Algo]Spec{}
+	byName     = map[string]Spec{}
+	maxAlgoID  Algo
+	registered []Spec
+)
+
+// Register adds an algorithm to the registry. It panics on a duplicate ID
+// or name, on AlgoDefault, or on a Spec whose constructor's StateLen
+// disagrees with the declared one — registration is an init-time,
+// single-goroutine affair.
+func Register(s Spec) {
+	if s.ID == AlgoDefault {
+		panic("ctl: cannot register AlgoDefault")
+	}
+	if _, dup := registry[s.ID]; dup {
+		panic(fmt.Sprintf("ctl: duplicate algorithm ID %d", s.ID))
+	}
+	if _, dup := byName[s.Name]; dup {
+		panic(fmt.Sprintf("ctl: duplicate algorithm name %q", s.Name))
+	}
+	if got := s.New().StateLen(); got != s.StateLen {
+		panic(fmt.Sprintf("ctl: %s declares state width %d but builds %d", s.Name, s.StateLen, got))
+	}
+	registry[s.ID] = s
+	byName[s.Name] = s
+	if s.ID > maxAlgoID {
+		maxAlgoID = s.ID
+	}
+	registered = append(registered, s)
+	sort.Slice(registered, func(i, j int) bool { return registered[i].ID < registered[j].ID })
+}
+
+// Lookup resolves an algorithm ID. AlgoDefault is not a registered
+// algorithm and resolves to false.
+func Lookup(id Algo) (Spec, bool) {
+	s, ok := registry[id]
+	return s, ok
+}
+
+// ByName resolves a registry name (e.g. "softrate", "rraa").
+func ByName(name string) (Spec, bool) {
+	s, ok := byName[name]
+	return s, ok
+}
+
+// Specs returns all registered algorithms in ID order.
+func Specs() []Spec {
+	out := make([]Spec, len(registered))
+	copy(out, registered)
+	return out
+}
+
+// MaxID returns the highest registered algorithm ID (for dense
+// per-algorithm tables).
+func MaxID() Algo { return maxAlgoID }
+
+// New builds a fresh serving-configuration controller for a registered
+// algorithm; it panics on an unknown ID (callers validate via Lookup).
+func New(id Algo) Controller {
+	s, ok := registry[id]
+	if !ok {
+		panic(fmt.Sprintf("ctl: unknown algorithm ID %d", id))
+	}
+	return s.New()
+}
+
+// Names returns the registered algorithm names in ID order, for CLI usage
+// strings.
+func Names() []string {
+	out := make([]string, 0, len(registered))
+	for _, s := range registered {
+		out = append(out, s.Name)
+	}
+	return out
+}

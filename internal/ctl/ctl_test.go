@@ -1,0 +1,241 @@
+package ctl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"softrate/internal/core"
+	"softrate/internal/rate"
+	"softrate/internal/ratectl"
+)
+
+func TestRegistryInvariants(t *testing.T) {
+	specs := Specs()
+	if len(specs) < 5 {
+		t.Fatalf("only %d registered algorithms, want the §6.1 set (softrate, samplerate, rraa, snr, charm)", len(specs))
+	}
+	seenName := map[string]bool{}
+	for i, s := range specs {
+		if i > 0 && specs[i-1].ID >= s.ID {
+			t.Fatalf("Specs not in strict ID order: %d then %d", specs[i-1].ID, s.ID)
+		}
+		if seenName[s.Name] {
+			t.Fatalf("duplicate name %q", s.Name)
+		}
+		seenName[s.Name] = true
+		if got, ok := Lookup(s.ID); !ok || got.Name != s.Name {
+			t.Fatalf("Lookup(%d) = %+v, %v", s.ID, got, ok)
+		}
+		if got, ok := ByName(s.Name); !ok || got.ID != s.ID {
+			t.Fatalf("ByName(%q) = %+v, %v", s.Name, got, ok)
+		}
+		c := New(s.ID)
+		if c.StateLen() != s.StateLen {
+			t.Fatalf("%s: built controller state width %d != spec %d", s.Name, c.StateLen(), s.StateLen)
+		}
+	}
+	if _, ok := Lookup(AlgoDefault); ok {
+		t.Fatal("AlgoDefault must not resolve to a registered algorithm")
+	}
+	for _, want := range []struct {
+		id   Algo
+		name string
+	}{
+		{AlgoSoftRate, "softrate"}, {AlgoSampleRate, "samplerate"},
+		{AlgoRRAA, "rraa"}, {AlgoSNR, "snr"}, {AlgoCHARM, "charm"},
+	} {
+		if s, ok := Lookup(want.id); !ok || s.Name != want.name {
+			t.Fatalf("wire ID %d should be %q, got %+v (these IDs are protocol — never renumber)", want.id, want.name, s)
+		}
+	}
+}
+
+func TestFreshControllersEncodeIdentically(t *testing.T) {
+	for _, spec := range Specs() {
+		a := make([]byte, spec.StateLen)
+		b := make([]byte, spec.StateLen)
+		spec.New().EncodeState(a)
+		spec.New().EncodeState(b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: two fresh controllers encode differently — the Spec constructor is not canonical", spec.Name)
+		}
+	}
+}
+
+// randFeedback draws one service-side feedback for the closed loop: the
+// rate is whatever the controller last decided, the rest is randomized
+// across the full kind/BER/SNR/airtime space.
+func randFeedback(rng *rand.Rand, rateIndex int) Feedback {
+	fb := Feedback{
+		Kind:      core.FeedbackKind(rng.Intn(int(core.NumKinds))),
+		RateIndex: rateIndex,
+		BER:       math.Pow(10, -8*rng.Float64()), // 1e-8 .. 1
+		SNRdB:     rng.Float64()*30 - 2,
+		Delivered: rng.Intn(3) > 0,
+	}
+	if rng.Intn(4) == 0 {
+		fb.SNRdB = math.NaN()
+	}
+	if rng.Intn(3) > 0 {
+		fb.Airtime = 2e-4 + rng.Float64()*2e-3
+	}
+	return fb
+}
+
+// TestRelocationPreservesDecisions is the contract at the center of the
+// store: for every registered algorithm, encode → decode through a
+// *different* instance at every step must yield the decision stream of a
+// long-lived controller.
+func TestRelocationPreservesDecisions(t *testing.T) {
+	for _, spec := range Specs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			longLived := spec.New()
+			hopA, hopB := spec.New(), spec.New()
+			buf := make([]byte, spec.StateLen)
+			hopA.EncodeState(buf)
+
+			rate := 0
+			for step := 0; step < 5000; step++ {
+				fb := randFeedback(rng, rate)
+				want := longLived.Apply(fb)
+
+				// Relocate: restore into whichever hop is "cold",
+				// alternating instances like shards alternate scratch
+				// controllers.
+				c := hopA
+				if step%2 == 1 {
+					c = hopB
+				}
+				if err := c.DecodeState(buf); err != nil {
+					t.Fatalf("step %d: decode: %v", step, err)
+				}
+				got := c.Apply(fb)
+				c.EncodeState(buf)
+
+				if got != want {
+					t.Fatalf("step %d: relocated %s decided %d, long-lived %d (fb %+v)",
+						step, spec.Name, got, want, fb)
+				}
+				rate = want
+			}
+		})
+	}
+}
+
+// TestFeedbackKindMapping pins the Apply → OnResult translation against
+// the MAC's (mac.resToRatectl): same kinds, same flags.
+func TestFeedbackKindMapping(t *testing.T) {
+	probe := &recordingAdapter{}
+	c := &clocked{a: probe, nominal: NominalAirtimes()}
+
+	c.Apply(Feedback{Kind: core.KindBER, RateIndex: 2, BER: 1e-4, SNRdB: 17, Delivered: true})
+	r := probe.last
+	if !r.FeedbackReceived || r.PostambleOnly || r.Collision || !r.Delivered || r.BER != 1e-4 || r.SNRdB != 17 {
+		t.Fatalf("KindBER mapped to %+v", r)
+	}
+	c.Apply(Feedback{Kind: core.KindCollision, RateIndex: 2, BER: 2e-3, SNRdB: 9})
+	r = probe.last
+	if !r.FeedbackReceived || !r.Collision || r.Delivered || r.BER != 2e-3 {
+		t.Fatalf("KindCollision mapped to %+v", r)
+	}
+	c.Apply(Feedback{Kind: core.KindPostamble, RateIndex: 2, SNRdB: 9})
+	r = probe.last
+	if !r.FeedbackReceived || !r.PostambleOnly || !math.IsNaN(r.SNRdB) {
+		t.Fatalf("KindPostamble mapped to %+v (postambles carry no SNR)", r)
+	}
+	c.Apply(Feedback{Kind: core.KindSilentLoss, RateIndex: 2, SNRdB: 9})
+	r = probe.last
+	if r.FeedbackReceived || !math.IsNaN(r.SNRdB) {
+		t.Fatalf("KindSilentLoss mapped to %+v", r)
+	}
+	if probe.times[0] <= 0 || probe.times[1] <= probe.times[0] {
+		t.Fatalf("virtual clock not advancing: %v", probe.times)
+	}
+}
+
+type recordingAdapter struct {
+	last  Result
+	times []float64
+}
+
+func (a *recordingAdapter) Name() string         { return "probe" }
+func (a *recordingAdapter) NextRate(float64) int { return 0 }
+func (a *recordingAdapter) WantRTS() bool        { return false }
+func (a *recordingAdapter) OnResult(res Result) {
+	a.last = res
+	a.times = append(a.times, res.Time)
+}
+
+func TestWrap(t *testing.T) {
+	// Controllers pass through.
+	sr := NewSoftRate(core.DefaultConfig())
+	if Wrap(sr) != Controller(sr) {
+		t.Fatal("Wrap re-wrapped a Controller")
+	}
+	// The known frame-level types get their real snapshot widths.
+	lossless := NominalAirtimes()
+	s := ratectl.NewSampleRate(rate.Evaluation(), lossless, ratectl.NewSplitMix(7))
+	s.WindowCap = 4
+	if got := Wrap(s).StateLen(); got != 8+16+len(rate.Evaluation())*(2+4*17) {
+		t.Fatalf("wrapped SampleRate state width %d", got)
+	}
+	if got := Wrap(ratectl.NewRRAA(rate.Evaluation(), lossless, false)).StateLen(); got != 16 {
+		t.Fatalf("wrapped RRAA state width %d, want 16", got)
+	}
+	// An unbounded SampleRate (simulator config) degrades to a clock-only
+	// snapshot instead of panicking.
+	unbounded := ratectl.NewSampleRate(rate.Evaluation(), lossless, ratectl.NewSplitMix(7))
+	if got := Wrap(unbounded).StateLen(); got != 8 {
+		t.Fatalf("wrapped unbounded SampleRate state width %d, want clock-only 8", got)
+	}
+	// Stateless adapters wrap to a clock-only snapshot too.
+	w := Wrap(&ratectl.Fixed{Index: 3})
+	if w.StateLen() != 8 || w.NextRate(0) != 3 || w.Name() != "Fixed" {
+		t.Fatalf("wrapped Fixed: len %d rate %d name %q", w.StateLen(), w.NextRate(0), w.Name())
+	}
+	// Every Controller is a ratectl.Adapter (the MAC's contract).
+	var _ ratectl.Adapter = w
+	var _ ratectl.Adapter = sr
+}
+
+func TestServingSNRThresholds(t *testing.T) {
+	th := ServingSNRThresholds()
+	if len(th) != len(rate.Evaluation()) {
+		t.Fatalf("%d thresholds for %d rates", len(th), len(rate.Evaluation()))
+	}
+	if math.IsInf(th[0], 1) {
+		t.Fatal("rate 0 must always be usable")
+	}
+	for i := 1; i < len(th); i++ {
+		if th[i] < th[i-1] {
+			t.Fatalf("thresholds not monotone: th[%d]=%v < th[%d]=%v", i, th[i], i-1, th[i-1])
+		}
+	}
+	// The lowest rate must be usable at a clearly workable SNR, and the
+	// fastest must require more than the slowest.
+	if th[0] > 15 || th[len(th)-1] <= th[0] {
+		t.Fatalf("implausible thresholds %v", th)
+	}
+}
+
+// TestSoftRateParityWithCoreApply pins the SoftRate wrapper to the exact
+// semantics the PR 2 store had: Apply == core.SoftRate.Apply.
+func TestSoftRateParityWithCoreApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewSoftRate(core.DefaultConfig())
+	bare := core.New(core.DefaultConfig())
+	rate := 0
+	for i := 0; i < 2000; i++ {
+		kind := core.FeedbackKind(rng.Intn(int(core.NumKinds)))
+		ber := rng.Float64() * 0.01
+		got := c.Apply(Feedback{Kind: kind, RateIndex: rate, BER: ber, SNRdB: 10, Airtime: 1e-3, Delivered: true})
+		want := bare.Apply(kind, rate, ber)
+		if got != want {
+			t.Fatalf("step %d: wrapper %d != core %d", i, got, want)
+		}
+		rate = got
+	}
+}

@@ -8,11 +8,11 @@ import (
 	"softrate/internal/channel"
 	"softrate/internal/coding"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/phy"
 	"softrate/internal/rate"
-	"softrate/internal/ratectl"
 	"softrate/internal/softphy"
 	"softrate/internal/trace"
 )
@@ -99,8 +99,8 @@ func runAblationExcision(o Options) []*Table {
 		cfg.Seed = o.Seed + 91
 		cfg.CSProb = 0.2
 		cfg.MAC.InterferenceDetectionProb = detectP
-		res := netsim.RunUplink(cfg, fwd, rev, func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSoftRate(core.DefaultConfig())
+		res := netsim.RunUplink(cfg, fwd, rev, func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.NewSoftRate(core.DefaultConfig())
 		})
 		return res.AggregateBps
 	}
@@ -216,10 +216,10 @@ func runAblationSilent(o Options) []*Table {
 		cfg.Duration = dur
 		cfg.Seed = o.Seed + 93
 		cfg.CSProb = 0.5
-		res := netsim.RunUplink(cfg, fwd, rev, func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		res := netsim.RunUplink(cfg, fwd, rev, func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
 			c := core.DefaultConfig()
 			c.SilentLossRun = run
-			return ratectl.NewSoftRate(c)
+			return ctl.NewSoftRate(c)
 		})
 		return res.AggregateBps
 	})

@@ -5,6 +5,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/ratectl"
@@ -53,25 +54,25 @@ func algorithmFactories() []struct {
 		name    string
 		factory netsim.AdapterFactory
 	}{
-		{"Omniscient", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return &ratectl.Omniscient{Oracle: fwd.BestRateAt}
+		{"Omniscient", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(&ratectl.Omniscient{Oracle: fwd.BestRateAt})
 		}},
-		{"SoftRate", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSoftRate(core.DefaultConfig())
+		{"SoftRate", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.NewSoftRate(core.DefaultConfig())
 		}},
-		{"SNR (trained)", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		{"SNR (trained)", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
 			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
-			return ratectl.NewSNRBased(th, "SNR (trained)")
+			return ctl.Wrap(ratectl.NewSNRBased(th, "SNR (trained)"))
 		}},
-		{"CHARM", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
+		{"CHARM", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
 			th := ratectl.TrainThresholds(fwd.TrainingSamples(), fwd.NumRates(), 0.9)
-			return ratectl.NewCHARM(th)
+			return ctl.Wrap(ratectl.NewCHARM(th))
 		}},
-		{"RRAA", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewRRAA(rateSet(), lossless, true)
+		{"RRAA", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewRRAA(rateSet(), lossless, true))
 		}},
-		{"SampleRate", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63())))
+		{"SampleRate", func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63()))))
 		}},
 	}
 }

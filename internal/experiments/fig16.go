@@ -6,6 +6,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/ratectl"
@@ -62,20 +63,20 @@ func runFig16(o Options) []*Table {
 		name    string
 		factory netsim.AdapterFactory
 	}{
-		{"Omniscient", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return &ratectl.Omniscient{Oracle: f.BestRateAt}
+		{"Omniscient", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(&ratectl.Omniscient{Oracle: f.BestRateAt})
 		}},
-		{"SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSoftRate(core.DefaultConfig())
+		{"SoftRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.NewSoftRate(core.DefaultConfig())
 		}},
-		{"SNR (untrained)", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSNRBased(walkTrained, "SNR (untrained)")
+		{"SNR (untrained)", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewSNRBased(walkTrained, "SNR (untrained)"))
 		}},
-		{"RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewRRAA(rateSet(), lossless, false)
+		{"RRAA", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewRRAA(rateSet(), lossless, false))
 		}},
-		{"SampleRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63())))
+		{"SampleRate", func(i int, f *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63()))))
 		}},
 	}
 	// Stage 2: one trial per (coherence, algorithm), each averaging its

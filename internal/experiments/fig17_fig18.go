@@ -6,6 +6,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/experiments/engine"
 	"softrate/internal/netsim"
 	"softrate/internal/ratectl"
@@ -45,8 +46,8 @@ func interferenceAlgorithms() []struct {
 	factory   netsim.AdapterFactory
 } {
 	lossless := losslessAirtimes()
-	softFactory := func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-		return ratectl.NewSoftRate(core.DefaultConfig())
+	softFactory := func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+		return ctl.NewSoftRate(core.DefaultConfig())
 	}
 	return []struct {
 		name      string
@@ -56,11 +57,11 @@ func interferenceAlgorithms() []struct {
 	}{
 		{"SoftRate (Ideal)", true, 1.0, softFactory},
 		{"SoftRate", false, 0.8, softFactory},
-		{"RRAA", false, 0.8, func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewRRAA(rateSet(), lossless, true) // adaptive RTS on
+		{"RRAA", false, 0.8, func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewRRAA(rateSet(), lossless, true)) // adaptive RTS on
 		}},
-		{"SampleRate", false, 0.8, func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter {
-			return ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63())))
+		{"SampleRate", false, 0.8, func(i int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller {
+			return ctl.Wrap(ratectl.NewSampleRate(rateSet(), lossless, rand.New(rand.NewSource(rng.Int63()))))
 		}},
 	}
 }

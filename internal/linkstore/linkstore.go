@@ -1,16 +1,24 @@
 // Package linkstore is the decision service's state layer: a hash-sharded,
-// striped-lock store of per-link SoftRate controllers. It is built to hold
+// striped-lock store of per-link rate controllers. It is built to hold
 // millions of concurrent links on one host:
 //
-//   - Per link it stores only core.State (8 bytes) plus a last-used stamp,
-//     not a full controller. Every controller built from one Config is
-//     identical except for that State (the thresholds are pure functions of
-//     the Config), so each shard keeps a single scratch controller and
-//     services a link by Restore → apply → Snapshot. Controllers are thus
-//     relocatable between shards, processes, and machines.
+//   - Per link it stores only the controller's encoded state (8 bytes for
+//     SoftRate, a fixed per-algorithm width for the others) plus a
+//     last-used stamp, not a full controller. Every controller built from
+//     one ctl.Spec is identical except for that state, so each shard keeps
+//     one scratch controller per algorithm and services a link by
+//     DecodeState → Apply → EncodeState. Controllers are thus relocatable
+//     between shards, processes, and machines.
+//   - State bytes live in per-shard, per-algorithm slabs (flat byte arrays
+//     of fixed-width slots with a free list), so the hot path touches no
+//     per-op heap allocation regardless of algorithm.
+//   - A link's algorithm is chosen at first touch — from the op's Algo
+//     field, or the store's default for AlgoDefault — and sticks for the
+//     link's lifetime, including across eviction and restore. One store
+//     serves any per-link mix of the registered §6.1 algorithms.
 //   - Links are created lazily on first touch and evicted after a
-//     configurable idle TTL. Evicted state moves to a per-shard archive (a
-//     bare linkID → State map, no stamp), so a link that comes back after
+//     configurable idle TTL. Evicted state moves to a per-shard archive
+//     (linkID → encoded state, no stamp), so a link that comes back after
 //     an idle period resumes exactly where it left off — eviction is
 //     invisible to the protocol, it only sheds hot-map bookkeeping.
 //   - Locking is striped per shard; batches are routed shard-by-shard so a
@@ -19,11 +27,13 @@
 package linkstore
 
 import (
+	"encoding/binary"
 	"sync"
 	"time"
 
 	"softrate/internal/bitutil"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 )
 
 // Config parameterizes a Store.
@@ -31,10 +41,15 @@ type Config struct {
 	// Shards is the number of lock stripes, rounded up to a power of two
 	// (default 64).
 	Shards int
-	// New builds a link's controller (default core.New(core.DefaultConfig())).
-	// All controllers of one store must be built from the same Config —
-	// the store relies on controllers being interchangeable up to State.
-	New func() *core.SoftRate
+	// DefaultAlgo is the algorithm used for ops carrying ctl.AlgoDefault
+	// (which v1 wire records and zero-valued Ops do). Zero means
+	// ctl.AlgoSoftRate.
+	DefaultAlgo ctl.Algo
+	// NewController overrides how per-algorithm controllers are built
+	// (default ctl.New). Controllers it returns must keep the registered
+	// Spec's StateLen — the store slab-allocates at that width — and all
+	// controllers of one algorithm must be interchangeable up to state.
+	NewController func(ctl.Algo) ctl.Controller
 	// TTL is the idle time after which a link is evicted from the hot map
 	// (0 disables eviction).
 	TTL time.Duration
@@ -47,17 +62,45 @@ type Config struct {
 	Clock func() int64
 }
 
-// Op is one feedback event addressed to one link.
+// Op is one feedback event addressed to one link. It is deliberately 32
+// bytes — the loadgen builds millions per second and batches of them must
+// stay cache-resident — so the physical quantities that don't need 52
+// mantissa bits (SNR in dB, airtime in seconds) travel as float32.
 type Op struct {
 	// LinkID identifies the link (sender, receiver, direction — however
 	// the caller names it).
 	LinkID uint64
-	// Kind is the feedback kind.
-	Kind core.FeedbackKind
-	// RateIndex is the rate the frame was sent at (KindBER/KindCollision).
-	RateIndex int32
 	// BER is the interference-free BER estimate (KindBER/KindCollision).
 	BER float64
+	// SNRdB is the receiver's SNR estimate, NaN when unknown (consumed by
+	// the SNR-based algorithms; v1 wire records decode to NaN).
+	SNRdB float32
+	// Airtime is the frame's airtime in seconds, 0 when unknown (consumed
+	// by SampleRate's transmission-time metric).
+	Airtime float32
+	// RateIndex is the rate the frame was sent at (KindBER/KindCollision).
+	RateIndex int32
+	// Algo selects the link's algorithm at first touch; existing links
+	// keep theirs. ctl.AlgoDefault (the zero value) means the store
+	// default.
+	Algo ctl.Algo
+	// Kind is the feedback kind.
+	Kind core.FeedbackKind
+	// Delivered reports whether the frame body arrived intact (consumed
+	// by SampleRate and RRAA).
+	Delivered bool
+}
+
+// feedback converts the op to the controller-facing form.
+func (op *Op) feedback() ctl.Feedback {
+	return ctl.Feedback{
+		Kind:      op.Kind,
+		RateIndex: int(op.RateIndex),
+		BER:       op.BER,
+		SNRdB:     float64(op.SNRdB),
+		Airtime:   float64(op.Airtime),
+		Delivered: op.Delivered,
+	}
 }
 
 // ShardStats counts one shard's activity. Counters are cumulative.
@@ -76,34 +119,138 @@ type ShardStats struct {
 	Archived int
 }
 
+// AlgoStats is the per-algorithm slice of a store's churn counters.
+type AlgoStats struct {
+	// Algo is the algorithm these counters cover.
+	Algo ctl.Algo
+	// Creates, Restores and Evictions mirror ShardStats, per algorithm.
+	Creates, Restores, Evictions uint64
+	// Live and Archived are current populations, per algorithm.
+	Live, Archived int
+}
+
 // Stats is the store-wide aggregate of ShardStats.
 type Stats struct {
 	ShardStats
 	// Shards is the number of shards aggregated.
 	Shards int
+	// Algos holds per-algorithm churn for every registered algorithm that
+	// saw traffic, in ID order.
+	Algos []AlgoStats
 }
 
+// inlineState is the largest encoded state kept inline in the entry.
+const inlineState = 8
+
+// tickShift converts clock nanoseconds to the entry timestamp unit:
+// 2^20 ns ≈ 1.05 ms per tick, 2^32 ticks ≈ 52 days of store uptime
+// before the stamp wraps. Ages are computed in wrapping uint32
+// arithmetic, so a wrap can at worst delay one eviction by a sweep
+// period — it cannot corrupt state.
+const tickShift = 20
+
+// entry is the hot-map value, deliberately 16 bytes: for algorithms
+// whose encoded state fits inlineState bytes (SoftRate's 8), the state
+// lives directly in the entry — map bucket and state share a cache
+// line, exactly the memory shape of the SoftRate-only store this layer
+// grew from. Wider states live in the per-algorithm slab, and the slot
+// index is overlaid on the (then unused) state bytes.
 type entry struct {
-	state    core.State
-	lastUsed int64
+	state    [inlineState]byte // encoded state (w <= 8) or LE slab slot in [0:4)
+	lastUsed uint32            // ticks since the store epoch
+	algo     ctl.Algo
+}
+
+func (e *entry) slot() uint32     { return binary.LittleEndian.Uint32(e.state[0:4]) }
+func (e *entry) setSlot(v uint32) { binary.LittleEndian.PutUint32(e.state[0:4], v) }
+
+// archInline is the largest encoded state archived without a heap
+// allocation (covers SoftRate's 8 bytes and both SNR schemes' 20).
+const archInline = 24
+
+type archived struct {
+	spill  []byte
+	inline [archInline]byte
+	algo   ctl.Algo
+}
+
+func (a *archived) state(w int) []byte {
+	if w <= archInline {
+		return a.inline[:w]
+	}
+	return a.spill
+}
+
+// slab is one shard's state storage for one algorithm: fixed-width slots
+// in a flat byte array with a free list.
+type slab struct {
+	data []byte
+	free []uint32
+}
+
+func (s *slab) alloc(w int) uint32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	if w <= 0 {
+		return 0
+	}
+	slot := uint32(len(s.data) / w)
+	need := len(s.data) + w
+	if cap(s.data) < need {
+		newCap := 2 * cap(s.data)
+		if newCap < need {
+			newCap = need
+		}
+		nd := make([]byte, len(s.data), newCap)
+		copy(nd, s.data)
+		s.data = nd
+	}
+	s.data = s.data[:need] // contents overwritten by the caller's copy
+	return slot
+}
+
+func (s *slab) at(slot uint32, w int) []byte {
+	off := int(slot) * w
+	return s.data[off : off+w]
+}
+
+type algoCounters struct {
+	creates, restores, evictions uint64
+	live, archived               int
 }
 
 type shard struct {
-	mu        sync.Mutex
-	links     map[uint64]entry
-	archive   map[uint64]core.State
-	scratch   *core.SoftRate
-	fresh     core.State // a just-built controller's state, for lazy creation
+	mu      sync.Mutex
+	links   map[uint64]entry
+	archive map[uint64]archived
+	slabs   []slab           // indexed by algo ID
+	scratch []ctl.Controller // indexed by algo ID, built lazily
+	// soft caches the unwrapped core controller of any *ctl.SoftRate
+	// scratch: the overwhelmingly common algorithm skips the interface
+	// round trip (DecodeState/Apply/EncodeState collapse to two uint32
+	// loads, the §3.3 threshold rule, and two stores).
+	soft      []*core.SoftRate // indexed by algo ID; nil for other types
+	perAlgo   []algoCounters   // indexed by algo ID
+	smallBuf  [inlineState]byte
 	stats     ShardStats
 	lastSweep int64
 }
 
 // Store is the sharded link-state store.
 type Store struct {
-	cfg    Config
-	mask   uint64
-	ttl    int64
-	shards []shard
+	cfg         Config
+	mask        uint64
+	ttl         int64  // nanoseconds, for sweep scheduling
+	ttlTicks    uint32 // entry-timestamp units, for age checks
+	epoch       int64  // clock value ticks are measured from
+	defaultAlgo ctl.Algo
+	widths      []int    // indexed by algo ID; -1 = unregistered
+	fresh       [][]byte // indexed by algo ID: a new controller's state
+	build       func(ctl.Algo) ctl.Controller
+	shards      []shard
 
 	scratchPool sync.Pool // *batchScratch, for ApplyBatch routing
 }
@@ -121,19 +268,53 @@ func New(cfg Config) *Store {
 	for n < cfg.Shards {
 		n <<= 1
 	}
-	if cfg.New == nil {
-		cfg.New = func() *core.SoftRate { return core.New(core.DefaultConfig()) }
-	}
 	if cfg.Clock == nil {
 		cfg.Clock = func() int64 { return time.Now().UnixNano() }
 	}
 	st := &Store{cfg: cfg, mask: uint64(n - 1), ttl: cfg.TTL.Nanoseconds()}
+	st.epoch = cfg.Clock()
+	if st.ttl > 0 {
+		st.ttlTicks = uint32(st.ttl >> tickShift)
+		if st.ttlTicks == 0 {
+			st.ttlTicks = 1
+		}
+	}
+	st.defaultAlgo = cfg.DefaultAlgo
+	if st.defaultAlgo == ctl.AlgoDefault {
+		st.defaultAlgo = ctl.AlgoSoftRate
+	}
+	st.build = cfg.NewController
+	if st.build == nil {
+		st.build = ctl.New
+	}
+	nAlgos := int(ctl.MaxID()) + 1
+	st.widths = make([]int, nAlgos)
+	st.fresh = make([][]byte, nAlgos)
+	for i := range st.widths {
+		st.widths[i] = -1
+	}
+	for _, spec := range ctl.Specs() {
+		c := st.build(spec.ID)
+		w := c.StateLen()
+		st.widths[spec.ID] = w
+		st.fresh[spec.ID] = make([]byte, w)
+		c.EncodeState(st.fresh[spec.ID])
+	}
+	if st.widths[st.defaultAlgo] < 0 {
+		panic("linkstore: default algorithm is not registered")
+	}
 	st.shards = make([]shard, n)
 	for i := range st.shards {
 		st.shards[i].links = make(map[uint64]entry)
-		st.shards[i].archive = make(map[uint64]core.State)
-		st.shards[i].scratch = cfg.New()
-		st.shards[i].fresh = st.shards[i].scratch.Snapshot()
+		st.shards[i].archive = make(map[uint64]archived)
+		st.shards[i].slabs = make([]slab, nAlgos)
+		st.shards[i].scratch = make([]ctl.Controller, nAlgos)
+		st.shards[i].soft = make([]*core.SoftRate, nAlgos)
+		st.shards[i].perAlgo = make([]algoCounters, nAlgos)
+		// The default algorithm's scratch is built eagerly: it serves
+		// every op that doesn't name an algorithm, and pre-building keeps
+		// scratchFor off the fast path for SoftRate defaults.
+		st.shards[i].scratchFor(st, st.defaultAlgo)
 	}
 	st.scratchPool.New = func() any {
 		return &batchScratch{perShard: make([][]int32, n)}
@@ -143,6 +324,16 @@ func New(cfg Config) *Store {
 
 // NumShards returns the (power-of-two) shard count.
 func (st *Store) NumShards() int { return len(st.shards) }
+
+// resolveAlgo maps an op's Algo to a registered algorithm: AlgoDefault
+// (and any unregistered ID — the wire codec rejects those, so in-process
+// callers get the conservative reading) becomes the store default.
+func (st *Store) resolveAlgo(a ctl.Algo) ctl.Algo {
+	if int(a) < len(st.widths) && st.widths[a] >= 0 {
+		return a
+	}
+	return st.defaultAlgo
+}
 
 // shardIndex mixes the link ID through the SplitMix64 finalizer so that
 // sequential IDs spread evenly across shards.
@@ -154,42 +345,154 @@ func (st *Store) shardFor(id uint64) *shard {
 	return &st.shards[st.shardIndex(id)]
 }
 
-// touch returns the link's current state, creating or restoring it as
-// needed. Caller holds sh.mu.
-func (sh *shard) touch(id uint64, dropOnEvict bool) core.State {
-	if e, ok := sh.links[id]; ok {
-		sh.stats.Hits++
-		return e.state
+// tickOf converts a clock reading to the entry timestamp unit.
+func (st *Store) tickOf(now int64) uint32 {
+	d := now - st.epoch
+	if d < 0 {
+		d = 0
 	}
-	if !dropOnEvict {
-		if s, ok := sh.archive[id]; ok {
-			delete(sh.archive, id)
-			sh.stats.Restores++
-			return s
+	return uint32(d >> tickShift)
+}
+
+// scratchFor returns the shard's scratch controller for an algorithm,
+// building it on first use. Caller holds sh.mu.
+func (sh *shard) scratchFor(st *Store, a ctl.Algo) ctl.Controller {
+	c := sh.scratch[a]
+	if c == nil {
+		c = st.build(a)
+		sh.scratch[a] = c
+		if s, ok := c.(*ctl.SoftRate); ok && c.StateLen() == 8 {
+			sh.soft[a] = s.SR
 		}
 	}
+	return c
+}
+
+// createLocked builds the entry for a link absent from the hot map:
+// revived from the archive (keeping its original algorithm) or created
+// fresh with the op's. Caller holds sh.mu.
+func (sh *shard) createLocked(st *Store, id uint64, algo ctl.Algo) entry {
+	if !st.cfg.DropOnEvict {
+		if a, ok := sh.archive[id]; ok {
+			delete(sh.archive, id)
+			w := st.widths[a.algo]
+			e := entry{algo: a.algo}
+			if w <= inlineState {
+				copy(e.state[:w], a.state(w))
+			} else {
+				slot := sh.slabs[a.algo].alloc(w)
+				e.setSlot(slot)
+				copy(sh.slabs[a.algo].at(slot, w), a.state(w))
+			}
+			sh.stats.Restores++
+			sh.perAlgo[a.algo].restores++
+			sh.perAlgo[a.algo].archived--
+			sh.perAlgo[a.algo].live++
+			return e
+		}
+	}
+	w := st.widths[algo]
+	e := entry{algo: algo}
+	if w <= inlineState {
+		copy(e.state[:w], st.fresh[algo])
+	} else {
+		slot := sh.slabs[algo].alloc(w)
+		e.setSlot(slot)
+		copy(sh.slabs[algo].at(slot, w), st.fresh[algo])
+	}
 	sh.stats.Creates++
-	return sh.fresh
+	sh.perAlgo[algo].creates++
+	sh.perAlgo[algo].live++
+	return e
 }
 
 // applyLocked runs one op against a shard. Caller holds sh.mu.
-func (sh *shard) applyLocked(op Op, now int64, dropOnEvict bool) int {
-	state := sh.touch(op.LinkID, dropOnEvict)
-	sh.scratch.Restore(state)
-	ri := sh.scratch.Apply(op.Kind, int(op.RateIndex), op.BER)
-	sh.links[op.LinkID] = entry{state: sh.scratch.Snapshot(), lastUsed: now}
+func (sh *shard) applyLocked(st *Store, op Op, nowTick uint32) int {
+	// Hot path: the link exists and its algorithm is already bound, so
+	// the op's Algo field doesn't even need resolving.
+	e, ok := sh.links[op.LinkID]
+	if ok {
+		sh.stats.Hits++
+	} else {
+		e = sh.createLocked(st, op.LinkID, st.resolveAlgo(op.Algo))
+	}
+	var ri int
+	if sr := sh.soft[e.algo]; sr != nil {
+		// SoftRate fast path (scratch built eagerly in New): the 8-byte
+		// inline state is decoded, applied and re-encoded with no
+		// interface dispatch and no slab touch. Byte layout matches
+		// ctl.SoftRate's EncodeState/DecodeState exactly.
+		sr.Restore(core.State{
+			RateIndex: int32(binary.LittleEndian.Uint32(e.state[0:4])),
+			SilentRun: int32(binary.LittleEndian.Uint32(e.state[4:8])),
+		})
+		ri = sr.Apply(op.Kind, int(op.RateIndex), op.BER)
+		snap := sr.Snapshot()
+		binary.LittleEndian.PutUint32(e.state[0:4], uint32(snap.RateIndex))
+		binary.LittleEndian.PutUint32(e.state[4:8], uint32(snap.SilentRun))
+	} else if w := st.widths[e.algo]; w > inlineState {
+		c := sh.scratchFor(st, e.algo)
+		buf := sh.slabs[e.algo].at(e.slot(), w)
+		if err := c.DecodeState(buf); err != nil {
+			// Unreachable through the public API (slots only ever hold
+			// what EncodeState wrote); recover to a fresh controller
+			// rather than poisoning the shard.
+			copy(buf, st.fresh[e.algo])
+			c.DecodeState(buf)
+		}
+		ri = c.Apply(op.feedback())
+		c.EncodeState(buf)
+	} else if w > 0 {
+		// Small-state interface path: bounce through the shard's scratch
+		// buffer rather than slicing e.state directly — a slice of a
+		// local escaping into an interface call would force the compiler
+		// to heap-allocate every entry, on every path of this function.
+		c := sh.scratchFor(st, e.algo)
+		buf := sh.smallBuf[:w]
+		copy(buf, e.state[:w])
+		if err := c.DecodeState(buf); err != nil {
+			copy(buf, st.fresh[e.algo])
+			c.DecodeState(buf)
+		}
+		ri = c.Apply(op.feedback())
+		c.EncodeState(buf)
+		copy(e.state[:w], buf)
+	} else {
+		ri = sh.scratchFor(st, e.algo).Apply(op.feedback())
+	}
+	e.lastUsed = nowTick
+	sh.links[op.LinkID] = e
 	return ri
 }
 
 // sweepLocked evicts idle links. Caller holds sh.mu.
-func (sh *shard) sweepLocked(now, ttl int64, dropOnEvict bool) int {
+func (sh *shard) sweepLocked(st *Store, now int64) int {
+	nowTick := st.tickOf(now)
 	evicted := 0
 	for id, e := range sh.links {
-		if now-e.lastUsed >= ttl {
-			if !dropOnEvict {
-				sh.archive[id] = e.state
+		if nowTick-e.lastUsed >= st.ttlTicks { // wrapping age in ticks
+			w := st.widths[e.algo]
+			if !st.cfg.DropOnEvict {
+				a := archived{algo: e.algo}
+				if w > 0 {
+					if w > archInline {
+						a.spill = make([]byte, w)
+					}
+					if w <= inlineState {
+						copy(a.state(w), e.state[:w])
+					} else {
+						copy(a.state(w), sh.slabs[e.algo].at(e.slot(), w))
+					}
+				}
+				sh.archive[id] = a
+				sh.perAlgo[e.algo].archived++
+			}
+			if w > inlineState {
+				sh.slabs[e.algo].free = append(sh.slabs[e.algo].free, e.slot())
 			}
 			delete(sh.links, id)
+			sh.perAlgo[e.algo].evictions++
+			sh.perAlgo[e.algo].live--
 			evicted++
 		}
 	}
@@ -201,11 +504,11 @@ func (sh *shard) sweepLocked(now, ttl int64, dropOnEvict bool) int {
 // maybeSweepLocked runs a TTL sweep if one is due. A shard sweeps at most
 // every TTL/4, so the amortized per-op eviction cost stays constant while
 // no link outlives its TTL by more than 25%. Caller holds sh.mu.
-func (sh *shard) maybeSweepLocked(now, ttl int64, dropOnEvict bool) {
-	if ttl <= 0 || now-sh.lastSweep < ttl/4 {
+func (sh *shard) maybeSweepLocked(st *Store, now int64) {
+	if st.ttl <= 0 || now-sh.lastSweep < st.ttl/4 {
 		return
 	}
-	sh.sweepLocked(now, ttl, dropOnEvict)
+	sh.sweepLocked(st, now)
 }
 
 // Apply routes one feedback event to its link's controller and returns the
@@ -213,10 +516,11 @@ func (sh *shard) maybeSweepLocked(now, ttl int64, dropOnEvict bool) {
 // archive) if absent.
 func (st *Store) Apply(op Op) int {
 	now := st.cfg.Clock()
+	nowTick := st.tickOf(now)
 	sh := st.shardFor(op.LinkID)
 	sh.mu.Lock()
-	ri := sh.applyLocked(op, now, st.cfg.DropOnEvict)
-	sh.maybeSweepLocked(now, st.ttl, st.cfg.DropOnEvict)
+	ri := sh.applyLocked(st, op, nowTick)
+	sh.maybeSweepLocked(st, now)
 	sh.mu.Unlock()
 	return ri
 }
@@ -228,7 +532,7 @@ func (st *Store) Apply(op Op) int {
 // batch order). Returns out[:len(ops)].
 func (st *Store) ApplyBatch(ops []Op, out []int32) []int32 {
 	now := st.cfg.Clock()
-	drop := st.cfg.DropOnEvict
+	nowTick := st.tickOf(now)
 	scratch := st.scratchPool.Get().(*batchScratch)
 	for i := range ops {
 		si := st.shardIndex(ops[i].LinkID)
@@ -242,9 +546,9 @@ func (st *Store) ApplyBatch(ops []Op, out []int32) []int32 {
 		sh := &st.shards[si]
 		sh.mu.Lock()
 		for _, i := range idxs {
-			out[i] = int32(sh.applyLocked(ops[i], now, drop))
+			out[i] = int32(sh.applyLocked(st, ops[i], nowTick))
 		}
-		sh.maybeSweepLocked(now, st.ttl, drop)
+		sh.maybeSweepLocked(st, now)
 		sh.mu.Unlock()
 		scratch.perShard[si] = idxs[:0]
 	}
@@ -252,20 +556,30 @@ func (st *Store) ApplyBatch(ops []Op, out []int32) []int32 {
 	return out[:len(ops)]
 }
 
-// Peek returns the link's current state without touching its TTL stamp or
-// creating it. The second result reports whether the link exists (hot or
-// archived).
-func (st *Store) Peek(id uint64) (core.State, bool) {
+// Peek returns the link's algorithm and a copy of its encoded controller
+// state without touching its TTL stamp or creating it. The last result
+// reports whether the link exists (hot or archived).
+func (st *Store) Peek(id uint64) (ctl.Algo, []byte, bool) {
 	sh := st.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e, ok := sh.links[id]; ok {
-		return e.state, true
+		w := st.widths[e.algo]
+		out := make([]byte, w)
+		if w <= inlineState {
+			copy(out, e.state[:w])
+		} else {
+			copy(out, sh.slabs[e.algo].at(e.slot(), w))
+		}
+		return e.algo, out, true
 	}
-	if s, ok := sh.archive[id]; ok {
-		return s, true
+	if a, ok := sh.archive[id]; ok {
+		w := st.widths[a.algo]
+		out := make([]byte, w)
+		copy(out, a.state(w))
+		return a.algo, out, true
 	}
-	return core.State{}, false
+	return ctl.AlgoDefault, nil, false
 }
 
 // EvictIdle sweeps every shard now, evicting links idle for at least the
@@ -279,7 +593,7 @@ func (st *Store) EvictIdle() int {
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
-		total += sh.sweepLocked(now, st.ttl, st.cfg.DropOnEvict)
+		total += sh.sweepLocked(st, now)
 		sh.mu.Unlock()
 	}
 	return total
@@ -301,12 +615,21 @@ func (st *Store) Len() int {
 func (st *Store) Stats() Stats {
 	var out Stats
 	out.Shards = len(st.shards)
+	perAlgo := make([]algoCounters, len(st.widths))
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
 		s := sh.stats
 		s.Live = len(sh.links)
 		s.Archived = len(sh.archive)
+		for a := range sh.perAlgo {
+			c := &sh.perAlgo[a]
+			perAlgo[a].creates += c.creates
+			perAlgo[a].restores += c.restores
+			perAlgo[a].evictions += c.evictions
+			perAlgo[a].archived += c.archived
+			perAlgo[a].live += c.live
+		}
 		sh.mu.Unlock()
 		out.Hits += s.Hits
 		out.Creates += s.Creates
@@ -314,6 +637,16 @@ func (st *Store) Stats() Stats {
 		out.Evictions += s.Evictions
 		out.Live += s.Live
 		out.Archived += s.Archived
+	}
+	for a := range perAlgo {
+		c := perAlgo[a]
+		if c.creates == 0 && c.restores == 0 && c.evictions == 0 && c.live == 0 && c.archived == 0 {
+			continue
+		}
+		out.Algos = append(out.Algos, AlgoStats{
+			Algo: ctl.Algo(a), Creates: c.creates, Restores: c.restores,
+			Evictions: c.evictions, Live: c.live, Archived: c.archived,
+		})
 	}
 	return out
 }

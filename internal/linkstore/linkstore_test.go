@@ -1,12 +1,14 @@
 package linkstore
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 )
 
 // fakeClock is a manually advanced nanosecond clock.
@@ -25,6 +27,22 @@ func (c *fakeClock) Advance(d time.Duration) {
 	c.mu.Lock()
 	c.now += d.Nanoseconds()
 	c.mu.Unlock()
+}
+
+// softPeek decodes a SoftRate link's 8-byte relocatable state.
+func softPeek(t *testing.T, st *Store, id uint64) (core.State, bool) {
+	t.Helper()
+	algo, b, ok := st.Peek(id)
+	if !ok {
+		return core.State{}, false
+	}
+	if algo != ctl.AlgoSoftRate {
+		t.Fatalf("link %d runs algorithm %d, want SoftRate", id, algo)
+	}
+	return core.State{
+		RateIndex: int32(binary.LittleEndian.Uint32(b[0:4])),
+		SilentRun: int32(binary.LittleEndian.Uint32(b[4:8])),
+	}, true
 }
 
 // berFor returns a BER that drives a default controller at rate index ri
@@ -69,14 +87,14 @@ func TestManyLinksAreIndependent(t *testing.T) {
 	ref := core.New(core.DefaultConfig())
 	for i := 0; i < 5; i++ {
 		cur := int32(0)
-		if s, ok := st.Peek(1); ok {
+		if s, ok := softPeek(t, st, 1); ok {
 			cur = s.RateIndex
 		}
 		st.Apply(Op{LinkID: 1, Kind: core.KindBER, RateIndex: cur, BER: berFor(ref, int(cur), 1)})
 		st.Apply(Op{LinkID: 2, Kind: core.KindSilentLoss})
 	}
-	a, _ := st.Peek(1)
-	b, _ := st.Peek(2)
+	a, _ := softPeek(t, st, 1)
+	b, _ := softPeek(t, st, 2)
 	if a.RateIndex != 5 {
 		t.Fatalf("link 1 should have climbed to 5, got %d", a.RateIndex)
 	}
@@ -94,7 +112,7 @@ func TestTTLEvictionArchivesAndRestoresTransparently(t *testing.T) {
 	st.Apply(Op{LinkID: 7, Kind: core.KindBER, RateIndex: 0, BER: berFor(ref, 0, 1)})
 	st.Apply(Op{LinkID: 7, Kind: core.KindSilentLoss})
 	st.Apply(Op{LinkID: 7, Kind: core.KindSilentLoss})
-	before, _ := st.Peek(7)
+	before, _ := softPeek(t, st, 7)
 
 	clk.Advance(2 * time.Second)
 	if n := st.EvictIdle(); n != 1 {
@@ -105,7 +123,7 @@ func TestTTLEvictionArchivesAndRestoresTransparently(t *testing.T) {
 		t.Fatalf("post-eviction stats %+v", s)
 	}
 	// Peek still sees the archived state.
-	if got, ok := st.Peek(7); !ok || got != before {
+	if got, ok := softPeek(t, st, 7); !ok || got != before {
 		t.Fatalf("archived state %+v (ok=%v), want %+v", got, ok, before)
 	}
 	// The next touch restores it: a third silent loss completes the run of
@@ -127,7 +145,7 @@ func TestDropOnEvictForgetsState(t *testing.T) {
 	st.Apply(Op{LinkID: 9, Kind: core.KindBER, RateIndex: 0, BER: berFor(ref, 0, 1)})
 	clk.Advance(2 * time.Second)
 	st.EvictIdle()
-	if _, ok := st.Peek(9); ok {
+	if _, _, ok := st.Peek(9); ok {
 		t.Fatal("DropOnEvict kept state after eviction")
 	}
 	// Recreated from scratch: starts at the lowest rate again.
@@ -154,7 +172,7 @@ func TestIncrementalSweepEvictsDuringTraffic(t *testing.T) {
 	if s.Evictions == 0 {
 		t.Fatalf("busy shard never evicted the idle link: %+v", s)
 	}
-	if got, ok := st.Peek(1); !ok {
+	if got, ok := softPeek(t, st, 1); !ok {
 		t.Fatal("evicted link lost from archive")
 	} else if got.SilentRun != 1 {
 		t.Fatalf("archived state %+v, want silent run 1", got)
@@ -269,5 +287,111 @@ func TestStoreDeterminismAgainstBareControllers(t *testing.T) {
 	}
 	if st.Stats().Evictions == 0 {
 		t.Fatal("test never exercised eviction — weaken the TTL")
+	}
+}
+
+// TestMixedAlgorithmsPerLink drives every registered algorithm through
+// one store concurrently and checks each link's decision stream against a
+// bare controller of its algorithm — including across eviction/restore
+// churn. This is the multi-algorithm generalization of
+// TestStoreDeterminismAgainstBareControllers.
+func TestMixedAlgorithmsPerLink(t *testing.T) {
+	clk := &fakeClock{}
+	st := New(Config{Shards: 8, TTL: 10 * time.Millisecond, Clock: clk.Now})
+	specs := ctl.Specs()
+	const nLinks = 120
+	bare := make([]ctl.Controller, nLinks)
+	algo := make([]ctl.Algo, nLinks)
+	for i := range bare {
+		spec := specs[i%len(specs)]
+		bare[i] = spec.New()
+		algo[i] = spec.ID
+	}
+	rng := rand.New(rand.NewSource(23))
+	rates := make([]int32, nLinks)
+	for step := 0; step < 6000; step++ {
+		id := rng.Intn(nLinks)
+		op := Op{
+			LinkID:    uint64(id) + 1,
+			Algo:      algo[id],
+			Kind:      core.FeedbackKind(rng.Intn(int(core.NumKinds))),
+			RateIndex: rates[id],
+			BER:       rng.Float64() * 0.01,
+			SNRdB:     float32(rng.Float64()*30 - 2),
+			Delivered: rng.Intn(3) > 0,
+		}
+		got := st.Apply(op)
+		want := bare[id].Apply(ctl.Feedback{
+			Kind:      op.Kind,
+			RateIndex: int(op.RateIndex),
+			BER:       op.BER,
+			SNRdB:     float64(op.SNRdB),
+			Delivered: op.Delivered,
+		})
+		if got != want {
+			t.Fatalf("step %d link %d (%s): store %d != bare %d",
+				step, id, specs[id%len(specs)].Name, got, want)
+		}
+		rates[id] = int32(got)
+		clk.Advance(time.Millisecond)
+	}
+	s := st.Stats()
+	if s.Evictions == 0 || s.Restores == 0 {
+		t.Fatalf("test never exercised eviction/restore churn: %+v", s)
+	}
+	if len(s.Algos) != len(specs) {
+		t.Fatalf("per-algo stats cover %d algorithms, want %d: %+v", len(s.Algos), len(specs), s.Algos)
+	}
+	var live, creates int
+	for _, as := range s.Algos {
+		live += as.Live
+		creates += int(as.Creates)
+	}
+	if live != s.Live || creates != int(s.Creates) {
+		t.Fatalf("per-algo stats don't sum to totals: %+v vs %+v", s.Algos, s.ShardStats)
+	}
+}
+
+// TestAlgorithmStickyAtFirstTouch pins the binding rule: a link's
+// algorithm is whatever its first op named, and later ops naming a
+// different algorithm keep driving the original controller — including
+// after the link was evicted and restored from the archive.
+func TestAlgorithmStickyAtFirstTouch(t *testing.T) {
+	clk := &fakeClock{}
+	st := New(Config{Shards: 4, TTL: time.Second, Clock: clk.Now})
+
+	// First touch binds RRAA.
+	st.Apply(Op{LinkID: 5, Algo: ctl.AlgoRRAA, Kind: core.KindBER, BER: 1e-7, Delivered: true})
+	if a, _, ok := st.Peek(5); !ok || a != ctl.AlgoRRAA {
+		t.Fatalf("first touch bound algo %d, want RRAA", a)
+	}
+	// A later op claiming SoftRate must not rebind.
+	st.Apply(Op{LinkID: 5, Algo: ctl.AlgoSoftRate, Kind: core.KindBER, BER: 1e-7, Delivered: true})
+	if a, _, _ := st.Peek(5); a != ctl.AlgoRRAA {
+		t.Fatalf("algo rebound to %d on second touch", a)
+	}
+	// Nor after eviction + restore.
+	clk.Advance(2 * time.Second)
+	if n := st.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d links, want 1", n)
+	}
+	st.Apply(Op{LinkID: 5, Algo: ctl.AlgoCHARM, Kind: core.KindSilentLoss})
+	if a, _, _ := st.Peek(5); a != ctl.AlgoRRAA {
+		t.Fatalf("algo rebound to %d after restore", a)
+	}
+	if s := st.Stats(); s.Restores != 1 {
+		t.Fatalf("expected one restore, got %+v", s)
+	}
+}
+
+// TestDefaultAlgoConfig checks that AlgoDefault ops land on the
+// configured default algorithm.
+func TestDefaultAlgoConfig(t *testing.T) {
+	st := New(Config{Shards: 4, DefaultAlgo: ctl.AlgoCHARM})
+	st.Apply(Op{LinkID: 1, Kind: core.KindSilentLoss})
+	if a, state, ok := st.Peek(1); !ok || a != ctl.AlgoCHARM {
+		t.Fatalf("default-algo op bound %d, want CHARM", a)
+	} else if spec, _ := ctl.Lookup(ctl.AlgoCHARM); len(state) != spec.StateLen {
+		t.Fatalf("CHARM state is %d bytes, want %d", len(state), spec.StateLen)
 	}
 }

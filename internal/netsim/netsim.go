@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"softrate/internal/ctl"
 	"softrate/internal/mac"
 	"softrate/internal/ratectl"
 	"softrate/internal/sim"
@@ -60,11 +61,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// AdapterFactory builds a rate adaptation instance for one link. The
+// AdapterFactory builds a rate controller for one link, on the unified
+// ctl.Controller contract — the same interface the softrated decision
+// service stores and relocates, so any algorithm evaluated here is
+// servable and vice versa (wrap bare ratectl adapters with ctl.Wrap). The
 // factory receives the link's forward trace so oracle- and training-based
 // algorithms can be constructed; honest algorithms must only use it for
 // training, never for lookahead.
-type AdapterFactory func(stationIdx int, fwd *trace.LinkTrace, rng *rand.Rand) ratectl.Adapter
+type AdapterFactory func(stationIdx int, fwd *trace.LinkTrace, rng *rand.Rand) ctl.Controller
 
 // FlowResult summarizes one TCP flow.
 type FlowResult struct {
@@ -160,7 +164,7 @@ func RunUplink(cfg Config, fwdTraces, revTraces []*trace.LinkTrace, factory Adap
 	down := &wiredLink{eng: eng, rate: cfg.WiredRate, delay: cfg.WiredDelay}
 
 	// AP: one station, per-client adapters and reverse traces.
-	apAdapters := make([]ratectl.Adapter, n)
+	apAdapters := make([]ctl.Controller, n)
 	for i := 0; i < n; i++ {
 		apAdapters[i] = factory(n+i, revTraces[i], rng)
 	}

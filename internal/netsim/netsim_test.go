@@ -7,6 +7,7 @@ import (
 
 	"softrate/internal/channel"
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/ratectl"
 	"softrate/internal/trace"
 )
@@ -32,13 +33,13 @@ func genTraces(n int, meanSNR float64, doppler float64, dur float64, seed int64)
 	return fwd, rev
 }
 
-func softRateFactory(int, *trace.LinkTrace, *rand.Rand) ratectl.Adapter {
-	return ratectl.NewSoftRate(core.DefaultConfig())
+func softRateFactory(int, *trace.LinkTrace, *rand.Rand) ctl.Controller {
+	return ctl.NewSoftRate(core.DefaultConfig())
 }
 
 func fixedFactory(idx int) AdapterFactory {
-	return func(int, *trace.LinkTrace, *rand.Rand) ratectl.Adapter {
-		return &ratectl.Fixed{Index: idx}
+	return func(int, *trace.LinkTrace, *rand.Rand) ctl.Controller {
+		return ctl.Wrap(&ratectl.Fixed{Index: idx})
 	}
 }
 

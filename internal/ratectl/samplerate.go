@@ -2,10 +2,16 @@ package ratectl
 
 import (
 	"math"
-	"math/rand"
 
 	"softrate/internal/rate"
 )
+
+// Intner is the probe-selection randomness source for SampleRate. Both
+// *math/rand.Rand (the simulators' shared PRNG) and *SplitMix (the
+// relocatable 8-byte PRNG the decision service snapshots) satisfy it.
+type Intner interface {
+	Intn(n int) int
+}
 
 // SampleRate implements Bicket's SampleRate algorithm [4]: pick the rate
 // with the smallest average transmission time per successfully delivered
@@ -28,12 +34,19 @@ type SampleRate struct {
 	// (Bicket's rule, default 4).
 	MaxConsecFail int
 	// Rng drives probe rate selection.
-	Rng *rand.Rand
+	Rng Intner
+	// WindowCap, when positive, bounds each per-rate sample ring to that
+	// many entries (oldest overwritten first). It makes the dynamic state a
+	// fixed size so the decision service can snapshot it; 0 (the
+	// simulators' setting) keeps every in-window sample, growing the rings
+	// as needed.
+	WindowCap int
 
-	frameCount int
-	samples    [][]srSample
+	frameCount uint64
+	rings      []srRing
 	consecFail []int
 	lastProbe  int
+	cands      []int // probe-candidate scratch, reused across frames
 }
 
 type srSample struct {
@@ -42,8 +55,56 @@ type srSample struct {
 	ok      bool
 }
 
+// srRing is a FIFO of samples in a power-of-two ring buffer: appends at
+// the tail, expires from the head, and (under WindowCap) overwrites the
+// oldest entry when full — the per-frame bookkeeping never allocates once
+// the ring has grown to its working size.
+type srRing struct {
+	buf  []srSample
+	head int // index of the oldest sample
+	n    int
+}
+
+func (r *srRing) at(i int) *srSample { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *srRing) push(s srSample, maxCap int) {
+	if maxCap > 0 && r.n >= maxCap {
+		// Full at the cap: the oldest slot becomes the newest sample.
+		r.buf[r.head] = s
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+		return
+	}
+	if r.n == len(r.buf) {
+		r.grow(r.n + 1)
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = s
+	r.n++
+}
+
+// grow re-linearizes the ring into a power-of-two buffer holding at least
+// need samples.
+func (r *srRing) grow(need int) {
+	newCap := len(r.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	nb := make([]srSample, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = *r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *srRing) popFront() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
 // NewSampleRate builds a SampleRate instance.
-func NewSampleRate(rates []rate.Rate, lossless []float64, rng *rand.Rand) *SampleRate {
+func NewSampleRate(rates []rate.Rate, lossless []float64, rng Intner) *SampleRate {
 	return &SampleRate{
 		Rates:           rates,
 		Window:          1.0,
@@ -51,8 +112,9 @@ func NewSampleRate(rates []rate.Rate, lossless []float64, rng *rand.Rand) *Sampl
 		LosslessAirtime: lossless,
 		MaxConsecFail:   4,
 		Rng:             rng,
-		samples:         make([][]srSample, len(rates)),
+		rings:           make([]srRing, len(rates)),
 		consecFail:      make([]int, len(rates)),
+		cands:           make([]int, 0, len(rates)),
 	}
 }
 
@@ -68,7 +130,9 @@ func (s *SampleRate) WantRTS() bool { return false }
 func (s *SampleRate) avgTxTime(i int, now float64) float64 {
 	var total float64
 	n, ok := 0, 0
-	for _, sm := range s.samples[i] {
+	r := &s.rings[i]
+	for k := 0; k < r.n; k++ {
+		sm := r.at(k)
 		if sm.time < now-s.Window {
 			continue
 		}
@@ -105,11 +169,11 @@ func (s *SampleRate) NextRate(now float64) int {
 		}
 	}
 	s.frameCount++
-	if s.ProbeEvery > 0 && s.frameCount%s.ProbeEvery == 0 {
+	if s.ProbeEvery > 0 && s.frameCount%uint64(s.ProbeEvery) == 0 {
 		// Candidate probes: rates other than best whose lossless time is
 		// under the current best average (could conceivably do better)
 		// and that aren't failing consecutively.
-		var cands []int
+		cands := s.cands[:0]
 		for i := range s.Rates {
 			if i == best || s.consecFail[i] >= s.MaxConsecFail {
 				continue
@@ -118,6 +182,7 @@ func (s *SampleRate) NextRate(now float64) int {
 				cands = append(cands, i)
 			}
 		}
+		s.cands = cands
 		if len(cands) > 0 {
 			s.lastProbe = cands[s.Rng.Intn(len(cands))]
 			return s.lastProbe
@@ -132,11 +197,12 @@ func (s *SampleRate) OnResult(res Result) {
 	if i < 0 || i >= len(s.Rates) {
 		return
 	}
-	s.samples[i] = append(s.samples[i], srSample{res.Time, res.Airtime, res.Delivered})
-	// Garbage-collect outside the window to bound memory.
+	r := &s.rings[i]
+	r.push(srSample{res.Time, res.Airtime, res.Delivered}, s.WindowCap)
+	// Expire samples outside the window to bound memory.
 	cut := res.Time - 2*s.Window
-	for len(s.samples[i]) > 0 && s.samples[i][0].time < cut {
-		s.samples[i] = s.samples[i][1:]
+	for r.n > 0 && r.at(0).time < cut {
+		r.popFront()
 	}
 	if res.Delivered {
 		s.consecFail[i] = 0

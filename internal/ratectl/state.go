@@ -1,0 +1,210 @@
+package ratectl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"softrate/internal/bitutil"
+)
+
+// This file makes the frame-level algorithms relocatable: each gets a
+// compact fixed-width binary snapshot of its dynamic state (windows,
+// counters, EWMA — everything that distinguishes a live instance from a
+// freshly built one with the same configuration), so a store can evict a
+// link to bytes and later rebuild an equivalent controller, exactly like
+// core.SoftRate's 8-byte State. The contract shared by all three codecs:
+//
+//   - StateLen is a pure function of the configuration (never of the
+//     dynamic state), so stores can slab-allocate fixed-width slots.
+//   - EncodeState writes into dst[:StateLen()]; DecodeState overwrites the
+//     dynamic state from src[:StateLen()]. A Decode → apply → Encode cycle
+//     through any instance built with the same configuration yields
+//     byte-identical decisions to a long-lived instance.
+//
+// All multi-byte fields are little-endian; floats are IEEE 754 bit
+// patterns (lossless round-trip).
+
+// SplitMix is an 8-byte-state PRNG (SplitMix64: a Weyl sequence finalized
+// by bitutil.Mix64). It exists so SampleRate's probe randomness can ride
+// along in the algorithm snapshot: *math/rand.Rand has unexportable
+// internal state, a SplitMix relocates as one uint64.
+type SplitMix struct {
+	state uint64
+}
+
+// NewSplitMix seeds a SplitMix PRNG.
+func NewSplitMix(seed uint64) *SplitMix { return &SplitMix{state: seed} }
+
+// Intn implements Intner: a uniform-enough draw in [0, n) (modulo bias is
+// irrelevant at the candidate-set sizes SampleRate draws over).
+func (s *SplitMix) Intn(n int) int {
+	s.state += 0x9e3779b97f4a7c15
+	return int(bitutil.Mix64(s.state) % uint64(n))
+}
+
+// --- SampleRate ---
+
+// srSampleBytes is the encoded size of one ring sample: time f64,
+// airtime f64, delivered flag.
+const srSampleBytes = 17
+
+// srHeaderBytes covers frameCount (u64) and the SplitMix state (u64).
+const srHeaderBytes = 16
+
+// StateLen returns the snapshot size. It requires a positive WindowCap
+// (≤ 255): unbounded rings have no fixed width, so only cap-bounded
+// instances — the decision service's — are relocatable.
+func (s *SampleRate) StateLen() int {
+	if s.WindowCap <= 0 || s.WindowCap > 255 {
+		panic(fmt.Sprintf("ratectl: SampleRate.StateLen needs WindowCap in [1,255], have %d", s.WindowCap))
+	}
+	return srHeaderBytes + len(s.Rates)*(2+s.WindowCap*srSampleBytes)
+}
+
+// EncodeState writes the dynamic state into dst[:StateLen()]. Ring slots
+// beyond each ring's current length are left untouched (DecodeState never
+// reads them). If Rng is not a *SplitMix the PRNG state is encoded as
+// zero and a decoding instance reseeds deterministically.
+func (s *SampleRate) EncodeState(dst []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], s.frameCount)
+	var rng uint64
+	if sm, ok := s.Rng.(*SplitMix); ok {
+		rng = sm.state
+	}
+	binary.LittleEndian.PutUint64(dst[8:16], rng)
+	off := srHeaderBytes
+	stride := 2 + s.WindowCap*srSampleBytes
+	for i := range s.Rates {
+		cf := s.consecFail[i]
+		if cf > 255 {
+			cf = 255
+		}
+		r := &s.rings[i]
+		dst[off] = uint8(cf)
+		dst[off+1] = uint8(r.n)
+		p := off + 2
+		for k := 0; k < r.n; k++ {
+			sm := r.at(k)
+			binary.LittleEndian.PutUint64(dst[p:p+8], math.Float64bits(sm.time))
+			binary.LittleEndian.PutUint64(dst[p+8:p+16], math.Float64bits(sm.airtime))
+			if sm.ok {
+				dst[p+16] = 1
+			} else {
+				dst[p+16] = 0
+			}
+			p += srSampleBytes
+		}
+		off += stride
+	}
+}
+
+// DecodeState overwrites the dynamic state from src[:StateLen()].
+func (s *SampleRate) DecodeState(src []byte) error {
+	if len(src) < s.StateLen() {
+		return fmt.Errorf("ratectl: SampleRate state is %d bytes, need %d", len(src), s.StateLen())
+	}
+	s.frameCount = binary.LittleEndian.Uint64(src[0:8])
+	if sm, ok := s.Rng.(*SplitMix); ok {
+		sm.state = binary.LittleEndian.Uint64(src[8:16])
+	}
+	off := srHeaderBytes
+	stride := 2 + s.WindowCap*srSampleBytes
+	for i := range s.Rates {
+		s.consecFail[i] = int(src[off])
+		n := int(src[off+1])
+		if n > s.WindowCap {
+			return fmt.Errorf("ratectl: SampleRate ring %d holds %d samples, cap %d", i, n, s.WindowCap)
+		}
+		r := &s.rings[i]
+		if len(r.buf) < n {
+			r.grow(n)
+		}
+		r.head, r.n = 0, n
+		p := off + 2
+		for k := 0; k < n; k++ {
+			r.buf[k] = srSample{
+				time:    math.Float64frombits(binary.LittleEndian.Uint64(src[p : p+8])),
+				airtime: math.Float64frombits(binary.LittleEndian.Uint64(src[p+8 : p+16])),
+				ok:      src[p+16] != 0,
+			}
+			p += srSampleBytes
+		}
+		off += stride
+	}
+	return nil
+}
+
+// --- RRAA ---
+
+// rraaStateBytes: cur u8, rtsWnd u8, rtsCounter u8, pad, wndFrames u16,
+// wndLosses u16.
+const rraaStateBytes = 8
+
+// StateLen returns the snapshot size (8 bytes; the P_MTL/P_ORI thresholds
+// are pure functions of the configuration).
+func (r *RRAA) StateLen() int { return rraaStateBytes }
+
+// EncodeState writes the dynamic state into dst[:8].
+func (r *RRAA) EncodeState(dst []byte) {
+	dst[0] = uint8(r.cur)
+	dst[1] = uint8(min(r.rtsWnd, 255))
+	dst[2] = uint8(min(r.rtsCounter, 255))
+	dst[3] = 0
+	binary.LittleEndian.PutUint16(dst[4:6], uint16(min(r.wndFrames, 65535)))
+	binary.LittleEndian.PutUint16(dst[6:8], uint16(min(r.wndLosses, 65535)))
+}
+
+// DecodeState overwrites the dynamic state from src[:8].
+func (r *RRAA) DecodeState(src []byte) error {
+	if len(src) < rraaStateBytes {
+		return fmt.Errorf("ratectl: RRAA state is %d bytes, need %d", len(src), rraaStateBytes)
+	}
+	r.cur = int(src[0])
+	if max := len(r.Rates) - 1; r.cur > max {
+		r.cur = max
+	}
+	r.rtsWnd = int(src[1])
+	r.rtsCounter = int(src[2])
+	r.wndFrames = int(binary.LittleEndian.Uint16(src[4:6]))
+	r.wndLosses = int(binary.LittleEndian.Uint16(src[6:8]))
+	return nil
+}
+
+// --- SNRBased (per-frame SNR and CHARM) ---
+
+// snrStateBytes: flags u8 (bit0 haveSNR), silent u8, downBias u8, pad,
+// snrDB f64.
+const snrStateBytes = 12
+
+// StateLen returns the snapshot size (12 bytes; the thresholds are
+// configuration).
+func (s *SNRBased) StateLen() int { return snrStateBytes }
+
+// EncodeState writes the dynamic state into dst[:12].
+func (s *SNRBased) EncodeState(dst []byte) {
+	if s.haveSNR {
+		dst[0] = 1
+	} else {
+		dst[0] = 0
+	}
+	dst[1] = uint8(min(s.silent, 255))
+	dst[2] = uint8(min(s.downBias, 255))
+	dst[3] = 0
+	binary.LittleEndian.PutUint64(dst[4:12], math.Float64bits(s.snrDB))
+}
+
+// DecodeState overwrites the dynamic state from src[:12].
+func (s *SNRBased) DecodeState(src []byte) error {
+	if len(src) < snrStateBytes {
+		return fmt.Errorf("ratectl: SNRBased state is %d bytes, need %d", len(src), snrStateBytes)
+	}
+	s.haveSNR = src[0] != 0
+	s.silent = int(src[1])
+	s.downBias = int(src[2])
+	if s.downBias > len(s.Thresholds) {
+		s.downBias = len(s.Thresholds)
+	}
+	s.snrDB = math.Float64frombits(binary.LittleEndian.Uint64(src[4:12]))
+	return nil
+}

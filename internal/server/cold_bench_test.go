@@ -1,0 +1,46 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+
+	"softrate/internal/core"
+	"softrate/internal/linkstore"
+)
+
+// BenchmarkDecideCold cycles prebuilt batches across the whole 10k-link
+// population, so every map and state access misses cache — the load
+// generator's regime, unlike BenchmarkDecideInProcess which reuses one
+// (hot) batch. The spread between the two is the store's memory-shape
+// cost; keep both when judging hot-path changes.
+func BenchmarkDecideCold(b *testing.B) {
+	const nLinks = 10000
+	const batch = 128
+	srv := New(Config{Store: linkstore.Config{Shards: 64}})
+	rng := rand.New(rand.NewSource(3))
+	nBatches := nLinks / batch
+	all := make([][]linkstore.Op, nBatches)
+	next := uint64(0)
+	for k := range all {
+		all[k] = make([]linkstore.Op, batch)
+		for i := range all[k] {
+			all[k][i] = linkstore.Op{
+				LinkID:    next%nLinks + 1,
+				Kind:      core.FeedbackKind(rng.Intn(int(core.NumKinds))),
+				RateIndex: int32(rng.Intn(6)),
+				BER:       rng.Float64() * 0.01,
+			}
+			next++
+		}
+	}
+	out := make([]int32, batch)
+	for k := range all {
+		srv.Decide(all[k], out)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Decide(all[i%nBatches], out)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"softrate/internal/core"
+	"softrate/internal/ctl"
+	"softrate/internal/linkstore"
+)
+
+// FuzzDecodeBatch throws arbitrary payloads at the versioned batch
+// decoder. Properties checked on every input:
+//
+//   - no panic, ever (the TCP handler feeds DecodeBatch peer-controlled
+//     bytes after only a length check);
+//   - an accepted payload yields a record count consistent with its
+//     framing (v1: len/RecordSize; v2: (len-1)/RecordSizeV2) and only
+//     validated field
+//     values (known kinds and algorithms, sane BER/airtime/SNR);
+//   - accepted batches survive a v2 re-encode → decode round trip
+//     unchanged — decode is a bijection onto the validated op space.
+func FuzzDecodeBatch(f *testing.F) {
+	// Seed corpus: valid v1, valid v2, empty variants, and the malformed
+	// shapes the unit tests cover (truncation, bad kind, bad BER, bad
+	// algo, bad flags, length confusions).
+	f.Add([]byte{})
+	f.Add([]byte{VersionV2})
+	v1 := AppendOps(nil, []linkstore.Op{
+		{LinkID: 1, Kind: core.KindBER, RateIndex: 3, BER: 1e-5},
+		{LinkID: math.MaxUint64, Kind: core.KindPostamble, RateIndex: 255},
+	})
+	f.Add(v1)
+	f.Add(v1[:RecordSize-1]) // truncated v1
+	bad := append([]byte(nil), v1...)
+	bad[8] = byte(core.NumKinds) // invalid kind
+	f.Add(bad)
+	v2 := AppendOpsV2(nil, []linkstore.Op{
+		{LinkID: 2, Algo: ctl.AlgoRRAA, Kind: core.KindBER, RateIndex: 1, BER: 1e-4, SNRdB: 11, Airtime: 1e-3, Delivered: true},
+		{LinkID: 3, Algo: ctl.AlgoSampleRate, Kind: core.KindSilentLoss, SNRdB: float32(math.NaN())},
+	})
+	f.Add(v2)
+	f.Add(v2[:len(v2)-1]) // truncated v2 record
+	f.Add(append(v2, 0))  // even length: neither framing
+	badAlgo := append([]byte(nil), v2...)
+	badAlgo[1+8] = 250 // unregistered algorithm
+	f.Add(badAlgo)
+	badFlags := append([]byte(nil), v2...)
+	badFlags[1+11] = 0xfe // undefined flag bits
+	f.Add(badFlags)
+	nanBER := append([]byte(nil), v1...)
+	for i := 10; i < 18; i++ {
+		nanBER[i] = 0xff // NaN BER bits
+	}
+	f.Add(nanBER)
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ops, err := DecodeBatch(payload, nil)
+		if err != nil {
+			return
+		}
+		var wantN int
+		switch {
+		case len(payload)%RecordSize == 0:
+			wantN = len(payload) / RecordSize
+		case payload[0] == VersionV2 && (len(payload)-1)%RecordSizeV2 == 0:
+			wantN = (len(payload) - 1) / RecordSizeV2
+		default:
+			t.Fatalf("accepted a payload of length %d that matches neither framing", len(payload))
+		}
+		if len(ops) != wantN {
+			t.Fatalf("decoded %d ops from a %d-byte payload, framing says %d", len(ops), len(payload), wantN)
+		}
+		for i, op := range ops {
+			if op.Kind >= core.NumKinds {
+				t.Fatalf("op %d: invalid kind %d accepted", i, op.Kind)
+			}
+			if op.Algo != ctl.AlgoDefault {
+				if _, ok := ctl.Lookup(op.Algo); !ok {
+					t.Fatalf("op %d: unregistered algorithm %d accepted", i, op.Algo)
+				}
+			}
+			if math.IsNaN(op.BER) || math.IsInf(op.BER, 0) || op.BER < 0 {
+				t.Fatalf("op %d: invalid BER %v accepted", i, op.BER)
+			}
+			if op.Airtime != op.Airtime || math.IsInf(float64(op.Airtime), 0) || op.Airtime < 0 {
+				t.Fatalf("op %d: invalid airtime %v accepted", i, op.Airtime)
+			}
+			if math.IsInf(float64(op.SNRdB), 0) {
+				t.Fatalf("op %d: infinite SNR accepted", i)
+			}
+		}
+		// Round trip through the richer encoding: nothing may change.
+		re, err := DecodeBatch(AppendOpsV2(nil, ops), nil)
+		if err != nil {
+			t.Fatalf("re-encode of accepted ops rejected: %v", err)
+		}
+		if len(re) != len(ops) {
+			t.Fatalf("round trip count %d != %d", len(re), len(ops))
+		}
+		for i := range ops {
+			if !opsEqual(re[i], ops[i]) {
+				t.Fatalf("op %d changed across round trip: %+v != %+v", i, re[i], ops[i])
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
 )
 
@@ -21,15 +23,27 @@ func randOps(rng *rand.Rand, n, links int) []linkstore.Op {
 			Kind:      core.FeedbackKind(rng.Intn(int(core.NumKinds))),
 			RateIndex: int32(rng.Intn(6)),
 			BER:       rng.Float64() * 0.01,
+			SNRdB:     float32(math.NaN()), // what a v1 record decodes to
 		}
 	}
 	return ops
 }
 
+// opsEqual compares ops treating NaN SNRs as equal (NaN is the wire's
+// "unknown SNR" and never compares equal to itself).
+func opsEqual(a, b linkstore.Op) bool {
+	sa, sb := a.SNRdB, b.SNRdB
+	if sa != sa && sb != sb { // both NaN
+		sa, sb = 0, 0
+	}
+	a.SNRdB, b.SNRdB = 0, 0
+	return a == b && sa == sb
+}
+
 func TestCodecRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	ops := randOps(rng, 500, 1<<62) // huge ID space: exercises all 8 bytes
-	ops = append(ops, linkstore.Op{LinkID: math.MaxUint64, Kind: core.KindPostamble, RateIndex: 255, BER: 0.5})
+	ops = append(ops, linkstore.Op{LinkID: math.MaxUint64, Kind: core.KindPostamble, RateIndex: 255, BER: 0.5, SNRdB: float32(math.NaN())})
 	buf := AppendOps(nil, ops)
 	if len(buf) != len(ops)*RecordSize {
 		t.Fatalf("encoded %d bytes for %d ops, want %d", len(buf), len(ops), len(ops)*RecordSize)
@@ -42,9 +56,84 @@ func TestCodecRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
 	}
 	for i := range ops {
-		if got[i] != ops[i] {
+		if !opsEqual(got[i], ops[i]) {
 			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
 		}
+	}
+}
+
+func TestCodecV2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ops := randOps(rng, 300, 1<<62)
+	algos := ctl.Specs()
+	for i := range ops {
+		ops[i].Algo = algos[i%len(algos)].ID
+		ops[i].Airtime = rng.Float32() * 1e-3
+		ops[i].Delivered = rng.Intn(2) == 0
+		if i%3 == 0 {
+			ops[i].SNRdB = rng.Float32()*30 - 2
+		}
+	}
+	ops = append(ops, linkstore.Op{LinkID: math.MaxUint64, Algo: ctl.AlgoDefault, Kind: core.KindPostamble, RateIndex: 255, BER: 0.5, SNRdB: float32(math.NaN())})
+	buf := AppendOpsV2(nil, ops)
+	if want := 1 + len(ops)*RecordSizeV2; len(buf) != want {
+		t.Fatalf("encoded %d bytes for %d ops, want %d", len(buf), len(ops), want)
+	}
+	if len(buf)%2 != 1 {
+		t.Fatal("v2 payloads must be odd-length (that is what keeps them distinguishable from v1)")
+	}
+	got, err := DecodeBatch(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !opsEqual(got[i], ops[i]) {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+// TestCodecV1GoldenBytes pins the v1 wire format: a payload captured from
+// the PR 2 era codec must decode identically under the versioned decoder,
+// byte for byte.
+func TestCodecV1GoldenBytes(t *testing.T) {
+	// Two hand-assembled v1 records: link 0x0102030405060708 / kind 0 /
+	// rate 3 / BER 1.5e-5, and link 2 / kind 3 (postamble) / rate 0 / BER 0.
+	golden := []byte{
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // linkID LE
+		0x00,                                           // kind ber
+		0x03,                                           // rate 3
+		0x69, 0x1d, 0x55, 0x4d, 0x10, 0x75, 0xef, 0x3e, // 1.5e-5 LE f64
+		0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x03,
+		0x00,
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+	}
+	ops, err := DecodeBatch(golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []linkstore.Op{
+		{LinkID: 0x0102030405060708, Kind: core.KindBER, RateIndex: 3, BER: 1.5e-5, SNRdB: float32(math.NaN())},
+		{LinkID: 2, Kind: core.KindPostamble, RateIndex: 0, BER: 0, SNRdB: float32(math.NaN())},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("decoded %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if !opsEqual(ops[i], want[i]) {
+			t.Fatalf("op %d: %+v != %+v", i, ops[i], want[i])
+		}
+		if ops[i].Algo != ctl.AlgoDefault || ops[i].Airtime != 0 || ops[i].Delivered {
+			t.Fatalf("op %d: v1 decode invented v2 fields: %+v", i, ops[i])
+		}
+	}
+	// And the current v1 encoder still emits exactly these bytes.
+	if got := AppendOps(nil, want); !bytes.Equal(got, golden) {
+		t.Fatalf("AppendOps drifted from the golden v1 bytes:\n got %x\nwant %x", got, golden)
 	}
 }
 
@@ -61,6 +150,21 @@ func TestCodecRejectsMalformedPayloads(t *testing.T) {
 		t.Fatal("invalid kind accepted")
 	}
 
+	goodV2 := AppendOpsV2(nil, []linkstore.Op{{LinkID: 1, Algo: ctl.AlgoRRAA, Kind: core.KindBER, BER: 1e-5, SNRdB: 12}})
+	bad = append([]byte(nil), goodV2...)
+	bad[1+8] = 200 // unregistered algorithm
+	if _, err := DecodeBatch(bad, nil); err == nil {
+		t.Fatal("unknown v2 algorithm accepted")
+	}
+	bad = append([]byte(nil), goodV2...)
+	bad[1+11] = 0x80 // undefined flag bit
+	if _, err := DecodeBatch(bad, nil); err == nil {
+		t.Fatal("undefined v2 flags accepted")
+	}
+	if _, err := DecodeBatch(goodV2[:len(goodV2)-1], nil); err == nil {
+		t.Fatal("truncated v2 record accepted")
+	}
+
 	for _, v := range []float64{math.NaN(), math.Inf(1), -1e-3} {
 		bad = append([]byte(nil), good...)
 		binary.LittleEndian.PutUint64(bad[10:18], math.Float64bits(v))
@@ -72,6 +176,11 @@ func TestCodecRejectsMalformedPayloads(t *testing.T) {
 	huge := make([]byte, (MaxBatch+1)*RecordSize)
 	if _, err := DecodeOps(huge, nil); err == nil {
 		t.Fatal("oversized batch accepted")
+	}
+	hugeV2 := make([]byte, 1+(MaxBatch+1)*RecordSizeV2)
+	hugeV2[0] = VersionV2
+	if _, err := DecodeBatch(hugeV2, nil); err == nil {
+		t.Fatal("oversized v2 batch accepted")
 	}
 }
 

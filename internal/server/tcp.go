@@ -21,8 +21,9 @@ import (
 // flight per client — senders wanting more parallelism open more
 // connections (the MAC has one feedback stream per link anyway).
 
-// maxPayload is the largest accepted batch payload.
-const maxPayload = MaxBatch * RecordSize
+// maxPayload is the largest accepted batch payload (a full v2 batch:
+// version byte plus MaxBatch records).
+const maxPayload = 1 + MaxBatch*RecordSizeV2
 
 type tcpState struct {
 	mu        sync.Mutex
@@ -154,7 +155,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		var err error
-		ops, err = DecodeOps(payload, ops)
+		ops, err = DecodeBatch(payload, ops)
 		if err != nil {
 			return
 		}
@@ -204,8 +205,11 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Decide sends one batch and writes the returned rate indices to out
-// (which must be at least len(ops) long). Returns out[:len(ops)].
+// Decide sends one batch (always in the v2 encoding — the server accepts
+// v1 from older peers, but only v2 carries per-link algorithm selection
+// and the frame-level feedback fields) and writes the returned rate
+// indices to out (which must be at least len(ops) long). Returns
+// out[:len(ops)].
 func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
 	if len(ops) > MaxBatch {
 		return nil, fmt.Errorf("server: batch of %d exceeds maximum %d", len(ops), MaxBatch)
@@ -219,9 +223,9 @@ func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
 	}
 	c.buf = c.buf[:0]
 	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(ops)*RecordSize))
+	binary.LittleEndian.PutUint32(hdr[:], uint32(1+len(ops)*RecordSizeV2))
 	c.buf = append(c.buf, hdr[:]...)
-	c.buf = AppendOps(c.buf, ops)
+	c.buf = AppendOpsV2(c.buf, ops)
 	if _, err := c.bw.Write(c.buf); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Edge cases of the quantile query: the empty histogram and the q-range
+// bounds, which sit one off-by-one away from the cumulative-rank scan.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	// Empty: every query answers zero rather than scanning garbage.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram has non-zero aggregates")
+	}
+
+	h.Observe(10 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+
+	// q <= 0 clamps to the first recorded rank, never below the smallest
+	// observation's bucket.
+	if got := h.Quantile(0); got < 10*time.Microsecond || got > h.Quantile(0.5) {
+		t.Fatalf("Quantile(0) = %v, want within [10µs, p50]", got)
+	}
+	if h.Quantile(-3) != h.Quantile(0) {
+		t.Fatal("negative q must clamp to 0")
+	}
+	// q = 1 reports the exact maximum, not a bucket upper bound.
+	if got := h.Quantile(1); got != 30*time.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want the exact max 30µs", got)
+	}
+	if h.Quantile(5) != h.Quantile(1) {
+		t.Fatal("q > 1 must clamp to 1")
+	}
+	// Every quantile is bounded by the recorded maximum even when the
+	// bucket's upper edge lies beyond it.
+	h.Observe(1 * time.Nanosecond)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if got := h.Quantile(q); got > h.Max() {
+			t.Fatalf("Quantile(%v) = %v exceeds max %v", q, got, h.Max())
+		}
+	}
+}
+
+// Merge must be commutative (and merging-in-empty must be the identity):
+// the load generator merges per-client histograms in whatever order the
+// goroutines finished.
+func TestMergeCommutativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	for trial := 0; trial < 50; trial++ {
+		var a, b Histogram
+		for i, n := 0, rng.Intn(200); i < n; i++ {
+			a.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		for i, n := 0, rng.Intn(200); i < n; i++ {
+			b.Observe(time.Duration(rng.Int63n(int64(time.Millisecond))))
+		}
+
+		ab, ba := a, b
+		ab.Merge(&b)
+		ba.Merge(&a)
+
+		if ab.Count() != ba.Count() || ab.Mean() != ba.Mean() || ab.Max() != ba.Max() {
+			t.Fatalf("trial %d: aggregates differ by merge order: %+v vs %+v", trial, ab, ba)
+		}
+		if ab.buckets != ba.buckets {
+			t.Fatalf("trial %d: bucket contents differ by merge order", trial)
+		}
+		for _, q := range quantiles {
+			if ab.Quantile(q) != ba.Quantile(q) {
+				t.Fatalf("trial %d: Quantile(%v) differs by merge order: %v vs %v",
+					trial, q, ab.Quantile(q), ba.Quantile(q))
+			}
+		}
+
+		// Identity: merging an empty histogram changes nothing.
+		before := ab
+		var empty Histogram
+		ab.Merge(&empty)
+		if ab != before {
+			t.Fatalf("trial %d: merging empty changed the histogram", trial)
+		}
+	}
+}
