@@ -14,9 +14,18 @@
 //
 //	softrate-loadgen -clients 4 -links 10000 -duration 10s          # in-process server
 //	softrate-loadgen -addr 127.0.0.1:7447 -clients 8 -links 100000  # against softrated
+//	softrate-loadgen -tcp -pipeline 8                               # loopback TCP, 8 batches in flight per conn
 //	softrate-loadgen -mix hidden -verify                            # hidden-terminal mix + determinism check
-//	softrate-loadgen -algo all -verify                              # §6.1 head-to-head, every decision checked
+//	softrate-loadgen -algo all -verify -prewarm                     # §6.1 head-to-head, warm store, every decision checked
 //	softrate-loadgen -format json -bench-out BENCH_loadgen.json     # machine-readable report
+//
+// -pipeline N keeps N batches in flight per TCP connection (the v3
+// framing): each client's links are partitioned into N independent
+// closed loops, so every link still sees its previous decision before its
+// next frame while the connection never runs stop-and-wait. -prewarm
+// drives every link's first event through the server before the timed
+// region, so the report measures the steady state rather than map and
+// slab growth.
 //
 // With -verify every decision is checked byte-for-byte against a bare
 // per-link ctl controller fed the identical feedback sequence — the
@@ -26,9 +35,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime/pprof"
 	"strings"
@@ -62,6 +73,10 @@ type options struct {
 	minRate  float64
 	format   string
 	benchOut string
+	pipeline int
+	prewarm  bool
+	workers  int
+	tcpLoop  bool
 }
 
 func main() {
@@ -81,12 +96,20 @@ func main() {
 	flag.Float64Var(&opt.minRate, "min-rate", 0, "fail unless this many decisions/sec are sustained (summed over algorithms)")
 	flag.StringVar(&opt.format, "format", "text", "report format: text | json")
 	flag.StringVar(&opt.benchOut, "bench-out", "", "also write the JSON report to this file (e.g. BENCH_loadgen.json)")
+	flag.IntVar(&opt.pipeline, "pipeline", 0, "batches in flight per TCP connection (v3 framing; <=1 = classic stop-and-wait; needs -addr or -tcp)")
+	flag.BoolVar(&opt.prewarm, "prewarm", false, "touch every link once before the timed region (pre-grown maps/slabs; measures steady state)")
+	flag.IntVar(&opt.workers, "workers", 0, "in-process/loopback store: fan each batch's shard visits across this many goroutines (<=1 = sequential)")
+	flag.BoolVar(&opt.tcpLoop, "tcp", false, "serve over a loopback TCP listener even without -addr (measures the transport on one host)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if opt.clients < 1 || opt.links < opt.clients || opt.batch < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: need clients >= 1, links >= clients, batch >= 1")
+		os.Exit(2)
+	}
+	if opt.pipeline > 1 && opt.addr == "" && !opt.tcpLoop {
+		fmt.Fprintln(os.Stderr, "loadgen: -pipeline needs a TCP transport (-addr or -tcp); the in-process path has no wire to pipeline")
 		os.Exit(2)
 	}
 	if opt.format != "text" && opt.format != "json" {
@@ -157,6 +180,14 @@ type decider interface {
 	Decide(ops []linkstore.Op, out []int32) ([]int32, error)
 }
 
+// asyncDecider is the pipelined surface: several batches in flight per
+// connection, answered in submission order.
+type asyncDecider interface {
+	decider
+	Submit(ops []linkstore.Op) (*server.Pending, error)
+	Wait(p *server.Pending, out []int32) ([]int32, error)
+}
+
 type inProcess struct{ srv *server.Server }
 
 func (p inProcess) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
@@ -167,6 +198,14 @@ type tcpDecider struct{ cli *server.Client }
 
 func (t tcpDecider) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
 	return t.cli.Decide(ops, out)
+}
+
+func (t tcpDecider) Submit(ops []linkstore.Op) (*server.Pending, error) {
+	return t.cli.Submit(ops)
+}
+
+func (t tcpDecider) Wait(p *server.Pending, out []int32) ([]int32, error) {
+	return t.cli.Wait(p, out)
 }
 
 // maxRates bounds the chosen-rate distribution (the full Table 2 set).
@@ -224,6 +263,9 @@ type benchReport struct {
 	LinksPerAlgo    int          `json:"links_per_algo"`
 	ClientsPerAlgo  int          `json:"clients_per_algo"`
 	Batch           int          `json:"batch"`
+	Pipeline        int          `json:"pipeline,omitempty"`
+	StoreWorkers    int          `json:"store_workers,omitempty"`
+	Prewarmed       bool         `json:"prewarmed,omitempty"`
 	ElapsedSec      float64      `json:"elapsed_sec"`
 	TotalDecisions  uint64       `json:"total_decisions"`
 	DecisionsPerSec float64      `json:"decisions_per_sec"`
@@ -250,8 +292,26 @@ func run(opt options) error {
 		srv = server.New(server.Config{Store: linkstore.Config{
 			Shards: opt.shards,
 			TTL:    opt.ttl,
+			// The loadgen knows its own population exactly; a real
+			// deployment passes softrated -expected-links. Each algorithm
+			// holds only its own -links share, so the slab reserve uses
+			// the per-algo figure.
+			ExpectedLinks:        opt.links * len(algos),
+			ExpectedLinksPerAlgo: opt.links,
+			BatchWorkers:         opt.workers,
 		}})
-		transport = "in-process"
+		if opt.tcpLoop {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go srv.Serve(l)
+			defer srv.Close()
+			opt.addr = l.Addr().String()
+			transport = "tcp-loopback"
+		} else {
+			transport = "in-process"
+		}
 	}
 
 	// Per algorithm: the same link population, the same per-link trace
@@ -293,37 +353,63 @@ func run(opt options) error {
 	for i, s := range algos {
 		names[i] = s.Name
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %s x %d clients x ~%d links, batch %d, %v via %s\n",
-		strings.Join(names, "+"), opt.clients, opt.links/opt.clients, opt.batch, opt.duration, transport)
+	pipeNote := ""
+	if opt.pipeline > 1 {
+		pipeNote = fmt.Sprintf(", pipeline %d", opt.pipeline)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %s x %d clients x ~%d links, batch %d%s, %v via %s\n",
+		strings.Join(names, "+"), opt.clients, opt.links/opt.clients, opt.batch, pipeNote, opt.duration, transport)
 	if opt.verify && srv == nil {
 		fmt.Fprintln(os.Stderr, "loadgen: note: -verify against a remote server assumes these link IDs are fresh; a server that already served them will (correctly) report mismatches")
 	}
 
+	// Clients dial (and with -prewarm, walk every link once) before the
+	// measurement clock starts: the timed region then covers only
+	// steady-state decisions.
 	var stop atomic.Bool
-	time.AfterFunc(opt.duration, func() { stop.Store(true) })
-
+	var warmed sync.WaitGroup
+	startCh := make(chan struct{})
 	results := make([]clientResult, len(clients))
 	var wg sync.WaitGroup
-	start := time.Now()
 	for c := range clients {
 		wg.Add(1)
+		warmed.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			var d decider
-			if srv != nil {
+			if opt.addr == "" {
 				d = inProcess{srv}
 			} else {
-				cli, err := server.Dial(opt.addr)
+				var cli *server.Client
+				var err error
+				if opt.pipeline > 1 {
+					cli, err = server.DialPipelined(opt.addr, opt.pipeline)
+				} else {
+					cli, err = server.Dial(opt.addr)
+				}
 				if err != nil {
 					results[c].err = err
+					warmed.Done()
 					return
 				}
 				defer cli.Close()
 				d = tcpDecider{cli}
 			}
-			results[c] = drive(d, clients[c], opt, &stop)
+			dr := &driver{d: d, opt: opt, links: clients[c]}
+			if opt.prewarm && !dr.prewarm() {
+				results[c] = dr.res
+				warmed.Done()
+				return
+			}
+			warmed.Done()
+			<-startCh
+			results[c] = dr.run(&stop)
 		}(c)
 	}
+	warmed.Wait()
+	start := time.Now()
+	close(startCh)
+	time.AfterFunc(opt.duration, func() { stop.Store(true) })
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -336,6 +422,9 @@ func run(opt options) error {
 		LinksPerAlgo:   opt.links,
 		ClientsPerAlgo: opt.clients,
 		Batch:          opt.batch,
+		Pipeline:       opt.pipeline,
+		StoreWorkers:   opt.workers,
+		Prewarmed:      opt.prewarm,
 		ElapsedSec:     elapsed.Seconds(),
 		Verified:       opt.verify,
 	}
@@ -436,94 +525,249 @@ func printText(rep benchReport, srv *server.Server, opt options) {
 	}
 }
 
-// drive runs one client's replay loop until stop flips.
-func drive(d decider, links []*link, opt options, stop *atomic.Bool) clientResult {
-	var res clientResult
-	ops := make([]linkstore.Op, 0, opt.batch)
-	batch := make([]*link, 0, opt.batch)
-	out := make([]int32, opt.batch)
-	cursor := 0
+// batchBuilder assembles request batches from a rotating cursor over a
+// link population; each ready link contributes its next trace event.
+type batchBuilder struct {
+	links  []*link
+	cursor int
+}
+
+// fill appends up to max ready events to ops/batch (reset first) and
+// returns the filled slices. Empty results mean every link is waiting out
+// an idle gap or has exhausted its trace.
+func (b *batchBuilder) fill(max int, now time.Time, ops []linkstore.Op, batch []*link) ([]linkstore.Op, []*link) {
+	ops = ops[:0]
+	batch = batch[:0]
 	skipped := 0
-	for !stop.Load() {
-		ops = ops[:0]
-		batch = batch[:0]
-		skipped = 0
-		now := time.Now() // one clock read per batch: idle gaps are coarse
-		for len(ops) < opt.batch {
-			l := links[cursor]
-			cursor++
-			if cursor == len(links) {
-				cursor = 0
-			}
-			if l.idleGap > 0 {
-				if now.Before(l.nextAt) {
-					// All-idle guard: don't spin forever filling a batch
-					// no link is willing to join.
-					if skipped++; skipped > 2*len(links) {
-						break
-					}
-					continue
-				} else {
-					l.nextAt = now.Add(l.idleGap)
-				}
-			}
-			ev, ok := l.iter.Next(int(l.rate))
-			if !ok {
-				if skipped++; skipped > 2*len(links) {
+	for len(ops) < max {
+		l := b.links[b.cursor]
+		b.cursor++
+		if b.cursor == len(b.links) {
+			b.cursor = 0
+		}
+		if l.idleGap > 0 {
+			if now.Before(l.nextAt) {
+				// All-idle guard: don't spin forever filling a batch no
+				// link is willing to join.
+				if skipped++; skipped > 2*len(b.links) {
 					break
 				}
 				continue
 			}
-			ops = append(ops, linkstore.Op{
-				LinkID:    l.id,
-				Algo:      l.algo,
-				Kind:      ev.Kind,
-				RateIndex: int32(ev.RateIndex),
-				BER:       ev.BER,
-				SNRdB:     float32(ev.SNRdB),
-				Delivered: ev.Delivered,
-			})
-			batch = append(batch, l)
+			l.nextAt = now.Add(l.idleGap)
 		}
+		ev, ok := l.iter.Next(int(l.rate))
+		if !ok {
+			if skipped++; skipped > 2*len(b.links) {
+				break
+			}
+			continue
+		}
+		ops = append(ops, linkstore.Op{
+			LinkID:    l.id,
+			Algo:      l.algo,
+			Kind:      ev.Kind,
+			RateIndex: int32(ev.RateIndex),
+			BER:       ev.BER,
+			SNRdB:     float32(ev.SNRdB),
+			Delivered: ev.Delivered,
+		})
+		batch = append(batch, l)
+	}
+	return ops, batch
+}
+
+// driver is one client's replay engine.
+type driver struct {
+	d     decider
+	opt   options
+	links []*link
+	res   clientResult
+}
+
+// absorb applies one answered batch to the closed loop: next rates, the
+// chosen-rate histogram, and the -verify check against bare controllers.
+// Returns false when a mismatch ends the run.
+func (dr *driver) absorb(ops []linkstore.Op, batch []*link, out []int32) bool {
+	res := &dr.res
+	for i, l := range batch {
+		l.rate = out[i]
+		if ri := out[i]; ri >= 0 && int(ri) < maxRates {
+			res.rateCounts[ri]++
+		}
+		if l.bare != nil || l.bareSoft != nil {
+			var want int
+			if l.bareSoft != nil {
+				want = l.bareSoft.Apply(ops[i].Kind, int(ops[i].RateIndex), ops[i].BER)
+			} else {
+				want = l.bare.Apply(ctl.Feedback{
+					Kind:      ops[i].Kind,
+					RateIndex: int(ops[i].RateIndex),
+					BER:       ops[i].BER,
+					SNRdB:     float64(ops[i].SNRdB),
+					Airtime:   float64(ops[i].Airtime),
+					Delivered: ops[i].Delivered,
+				})
+			}
+			if int32(want) != out[i] {
+				res.mismatch = fmt.Sprintf("algo %d link %d: server decided %d, bare controller %d (op %+v)",
+					l.algo, l.id, out[i], want, ops[i])
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prewarm drives every link's first trace event through the server (and
+// the -verify checkers), so maps, slabs and the closed loop are all
+// established before the timed region. Measurements are then reset; the
+// warmed link state is kept. Returns false on error.
+func (dr *driver) prewarm() bool {
+	bb := batchBuilder{links: dr.links}
+	ops := make([]linkstore.Op, 0, dr.opt.batch)
+	batch := make([]*link, 0, dr.opt.batch)
+	out := make([]int32, dr.opt.batch)
+	for remaining := len(dr.links); remaining > 0; {
+		ops, batch = bb.fill(min(dr.opt.batch, remaining), time.Now(), ops, batch)
+		if len(ops) == 0 {
+			break // every remaining link is idle-gapped or exhausted
+		}
+		if _, err := dr.d.Decide(ops, out); err != nil {
+			dr.res.err = err
+			return false
+		}
+		if !dr.absorb(ops, batch, out) {
+			return false
+		}
+		remaining -= len(ops)
+	}
+	dr.res.decisions = 0
+	dr.res.lat = stats.Histogram{}
+	dr.res.rateCounts = [maxRates]uint64{}
+	return true
+}
+
+// run replays until stop flips: classic stop-and-wait batches, or — for a
+// pipelined transport with -pipeline > 1 — a sliding window of batches in
+// flight.
+func (dr *driver) run(stop *atomic.Bool) clientResult {
+	if ad, ok := dr.d.(asyncDecider); ok && dr.opt.pipeline > 1 {
+		return dr.runPipelined(ad, stop)
+	}
+	bb := batchBuilder{links: dr.links}
+	ops := make([]linkstore.Op, 0, dr.opt.batch)
+	batch := make([]*link, 0, dr.opt.batch)
+	out := make([]int32, dr.opt.batch)
+	for !stop.Load() {
+		ops, batch = bb.fill(dr.opt.batch, time.Now(), ops, batch)
 		if len(ops) == 0 {
 			time.Sleep(time.Millisecond) // every link is waiting out its idle gap
 			continue
 		}
 		t0 := time.Now()
-		if _, err := d.Decide(ops, out); err != nil {
-			res.err = err
-			return res
+		if _, err := dr.d.Decide(ops, out); err != nil {
+			dr.res.err = err
+			return dr.res
 		}
-		res.lat.Observe(time.Since(t0))
-		res.decisions += uint64(len(ops))
-		for i, l := range batch {
-			l.rate = out[i]
-			if ri := out[i]; ri >= 0 && int(ri) < maxRates {
-				res.rateCounts[ri]++
-			}
-			if l.bare != nil || l.bareSoft != nil {
-				var want int
-				if l.bareSoft != nil {
-					want = l.bareSoft.Apply(ops[i].Kind, int(ops[i].RateIndex), ops[i].BER)
-				} else {
-					want = l.bare.Apply(ctl.Feedback{
-						Kind:      ops[i].Kind,
-						RateIndex: int(ops[i].RateIndex),
-						BER:       ops[i].BER,
-						SNRdB:     float64(ops[i].SNRdB),
-						Airtime:   float64(ops[i].Airtime),
-						Delivered: ops[i].Delivered,
-					})
-				}
-				if int32(want) != out[i] {
-					res.mismatch = fmt.Sprintf("algo %d link %d: server decided %d, bare controller %d (op %+v)",
-						l.algo, l.id, out[i], want, ops[i])
-					return res
-				}
-			}
+		dr.res.lat.Observe(time.Since(t0))
+		dr.res.decisions += uint64(len(ops))
+		if !dr.absorb(ops, batch, out) {
+			return dr.res
 		}
 	}
-	return res
+	return dr.res
+}
+
+// pipeSlot is one in-flight batch of the pipelined window.
+type pipeSlot struct {
+	bb     batchBuilder
+	ops    []linkstore.Op
+	batch  []*link
+	out    []int32
+	p      *server.Pending
+	t0     time.Time
+	busy   bool
+	filled bool // batch built but not yet accepted by Submit
+}
+
+// runPipelined keeps up to -pipeline batches in flight on one
+// connection. The client's links are partitioned into one cohort per
+// window slot: a cohort is an independent closed loop (each of its links
+// sees its previous decision before its next frame), so deep pipelining
+// never reorders a link's feedback stream — exactly the property the
+// per-link -verify check proves.
+func (dr *driver) runPipelined(ad asyncDecider, stop *atomic.Bool) clientResult {
+	depth := dr.opt.pipeline
+	if depth > len(dr.links) {
+		depth = len(dr.links)
+	}
+	slots := make([]pipeSlot, depth)
+	for i := range slots {
+		slots[i].ops = make([]linkstore.Op, 0, dr.opt.batch)
+		slots[i].batch = make([]*link, 0, dr.opt.batch)
+		slots[i].out = make([]int32, dr.opt.batch)
+	}
+	for i, l := range dr.links {
+		s := &slots[i%depth]
+		s.bb.links = append(s.bb.links, l)
+	}
+	queue := make([]int, 0, depth) // busy slots in submission order
+	for {
+		stopped := stop.Load()
+		if !stopped {
+			for si := range slots {
+				s := &slots[si]
+				if s.busy {
+					continue
+				}
+				if !s.filled {
+					s.ops, s.batch = s.bb.fill(dr.opt.batch, time.Now(), s.ops, s.batch)
+					if len(s.ops) == 0 {
+						continue // cohort fully idle right now
+					}
+					s.filled = true
+				}
+				// Latency is stamped after the batch is built, like the
+				// stop-and-wait path: it measures submit → response, not
+				// client-side trace synthesis.
+				t0 := time.Now()
+				p, err := ad.Submit(s.ops)
+				if errors.Is(err, server.ErrPipelineFull) {
+					// Response-byte budget reached before the window depth
+					// (deep -pipeline with a large -batch): drain one
+					// response first; the built batch stays queued.
+					break
+				}
+				if err != nil {
+					dr.res.err = err
+					return dr.res
+				}
+				s.p, s.t0, s.busy, s.filled = p, t0, true, false
+				queue = append(queue, si)
+			}
+		}
+		if len(queue) == 0 {
+			if stopped {
+				return dr.res
+			}
+			time.Sleep(time.Millisecond) // every cohort is idle-gapped
+			continue
+		}
+		si := queue[0]
+		queue = append(queue[:0], queue[1:]...)
+		s := &slots[si]
+		if _, err := ad.Wait(s.p, s.out); err != nil {
+			dr.res.err = err
+			return dr.res
+		}
+		dr.res.lat.Observe(time.Since(s.t0))
+		dr.res.decisions += uint64(len(s.ops))
+		if !dr.absorb(s.ops, s.batch, s.out) {
+			return dr.res
+		}
+		s.busy = false
+	}
 }
 
 func mixFor(name string) (trace.Mix, error) {

@@ -1,14 +1,19 @@
 // Command softrated runs the SoftRate decision service over TCP: a
 // sharded store of per-link §3.3 controllers answering batched feedback
 // frames with next-rate decisions (see internal/server for the wire
-// format).
+// format). Pipelined (v3) clients are served automatically — the framing
+// is negotiated per request, so one listener serves stop-and-wait v1/v2
+// peers and deep-pipeline v3 peers side by side.
 //
 // Usage:
 //
 //	softrated -addr :7447 -shards 128 -ttl 30s
-//	softrated -addr :7447 -stats 5s        # periodic stats to stderr
+//	softrated -addr :7447 -expected-links 2000000   # pre-size for the fleet
+//	softrated -addr :7447 -batch-workers 8          # parallel ApplyBatch
+//	softrated -addr :7447 -stats 5s                 # periodic stats to stderr
 //
-// Drive it with cmd/softrate-loadgen.
+// Drive it with cmd/softrate-loadgen (use its -pipeline flag for the v3
+// framing).
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 		ttl         = flag.Duration("ttl", 60*time.Second, "idle TTL before a link is evicted from the hot map (0 = never)")
 		dropOnEvict = flag.Bool("drop-on-evict", false, "discard evicted link state instead of archiving it")
 		statsEvery  = flag.Duration("stats", 0, "print service stats to stderr at this interval (0 = only at exit)")
+		expected    = flag.Int("expected-links", 0, "pre-size shard maps and state slabs for this many links (0 = grow on demand)")
+		workers     = flag.Int("batch-workers", 0, "fan each batch's shard visits across this many goroutines (<=1 = sequential; decisions are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -44,10 +51,12 @@ func main() {
 	}
 
 	srv := server.New(server.Config{Store: linkstore.Config{
-		Shards:      *shards,
-		DefaultAlgo: spec.ID,
-		TTL:         *ttl,
-		DropOnEvict: *dropOnEvict,
+		Shards:        *shards,
+		DefaultAlgo:   spec.ID,
+		TTL:           *ttl,
+		DropOnEvict:   *dropOnEvict,
+		ExpectedLinks: *expected,
+		BatchWorkers:  *workers,
 	}})
 
 	l, err := net.Listen("tcp", *addr)

@@ -172,8 +172,12 @@ func (c *clocked) OnResult(res Result) {
 	c.a.OnResult(res)
 }
 
-// Apply implements Controller.
-func (c *clocked) Apply(fb Feedback) int {
+// resultFor maps one service-side feedback to the simulator Result the
+// wrapped algorithm consumes, advancing the given virtual clock by the
+// frame's airtime (measured when the feedback carries it, the rate's
+// nominal airtime otherwise). Both Apply and ApplyInPlace go through
+// this one mapping, so the two serving paths cannot diverge.
+func (c *clocked) resultFor(fb Feedback, clock float64) (Result, float64) {
 	at := fb.Airtime
 	if !(at > 0) || math.IsInf(at, 0) {
 		ri := fb.RateIndex
@@ -185,9 +189,9 @@ func (c *clocked) Apply(fb Feedback) int {
 		}
 		at = c.nominal[ri]
 	}
-	c.clock += at
+	clock += at
 	res := Result{
-		Time:      c.clock,
+		Time:      clock,
 		RateIndex: fb.RateIndex,
 		Airtime:   at,
 		SNRdB:     math.NaN(),
@@ -210,12 +214,52 @@ func (c *clocked) Apply(fb Feedback) int {
 		// Silent loss (and unknown kinds, read conservatively): no
 		// feedback of any kind.
 	}
+	return res, clock
+}
+
+// Apply implements Controller.
+func (c *clocked) Apply(fb Feedback) int {
+	res, clock := c.resultFor(fb, c.clock)
+	c.clock = clock
 	c.a.OnResult(res)
 	return c.a.NextRate(c.clock)
 }
 
 // clockBytes prefixes every clocked snapshot: the virtual clock as f64.
 const clockBytes = 8
+
+// inPlaceCodec is the codec-side surface of the in-slab fast path:
+// OnResult + NextRate executed directly against an encoded snapshot (sans
+// the clock prefix, which clocked manages itself).
+type inPlaceCodec interface {
+	InPlaceOK() bool
+	ApplyEncoded(state []byte, res Result) (int, bool)
+}
+
+// InPlaceOK implements InPlace: true when the wrapped algorithm's codec
+// can run against its encoded state (currently SampleRate in the serving
+// configuration — bounded window, relocatable SplitMix PRNG).
+func (c *clocked) InPlaceOK() bool {
+	ip, ok := c.codec.(inPlaceCodec)
+	return ok && ip.InPlaceOK()
+}
+
+// ApplyInPlace implements InPlace: Apply's exact mapping (via resultFor),
+// but the clock is read from and written to the snapshot and the
+// algorithm state never leaves the buffer.
+func (c *clocked) ApplyInPlace(state []byte, fb Feedback) (int, bool) {
+	ip, ok := c.codec.(inPlaceCodec)
+	if !ok || len(state) < c.StateLen() {
+		return 0, false
+	}
+	res, clock := c.resultFor(fb, math.Float64frombits(binary.LittleEndian.Uint64(state[0:8])))
+	ri, ok := ip.ApplyEncoded(state[clockBytes:], res)
+	if !ok {
+		return 0, false // state untouched; caller recovers via DecodeState
+	}
+	binary.LittleEndian.PutUint64(state[0:8], math.Float64bits(clock))
+	return ri, true
+}
 
 // StateLen implements Controller.
 func (c *clocked) StateLen() int {
@@ -293,6 +337,12 @@ func (c srCodec) DecodeState(src []byte) error {
 		return c.s.DecodeState(src)
 	}
 	return nil
+}
+
+func (c srCodec) InPlaceOK() bool { return c.s.InPlaceOK() }
+
+func (c srCodec) ApplyEncoded(state []byte, res Result) (int, bool) {
+	return c.s.ApplyEncoded(state, res)
 }
 
 // --- registry ---

@@ -81,6 +81,28 @@ type Controller interface {
 	DecodeState(src []byte) error
 }
 
+// InPlace is the optional in-slab fast path: a Controller that can apply
+// feedback directly to an encoded state buffer, with no DecodeState /
+// EncodeState round trip. For wide-state algorithms (SampleRate's ~1.7 KB
+// snapshot) the round trip dominates the serving cost, so stores probe
+// for this interface and drive slab-backed state through it.
+//
+// The contract mirrors the codec one bit for bit: ApplyInPlace(state, fb)
+// must leave state exactly as DecodeState(state) → Apply(fb) →
+// EncodeState(state) would — including bytes EncodeState leaves untouched
+// — and return the identical decision.
+type InPlace interface {
+	Controller
+	// InPlaceOK reports whether this instance's configuration supports the
+	// in-place path at all (a pure function of the configuration).
+	InPlaceOK() bool
+	// ApplyInPlace is Apply executed against the encoded state. ok=false
+	// means the buffer failed validation (or the configuration cannot run
+	// in place); state is then untouched and the caller should recover
+	// through DecodeState.
+	ApplyInPlace(state []byte, fb Feedback) (rate int, ok bool)
+}
+
 // Algo is a registered algorithm's stable one-byte ID. IDs are part of
 // the softrated v2 wire protocol — never renumber.
 type Algo uint8

@@ -125,6 +125,99 @@ func TestRelocationPreservesDecisions(t *testing.T) {
 	}
 }
 
+// TestInPlaceMatchesCodecPath extends the relocation contract to the
+// in-slab path: for every registered algorithm that advertises in-place
+// execution, driving a state buffer through ApplyInPlace must yield (a)
+// the decision stream of a long-lived controller and (b) a buffer that
+// stays byte-identical to one driven through the DecodeState → Apply →
+// EncodeState cycle — including the stale bytes beyond each ring's live
+// length, which neither path may touch.
+func TestInPlaceMatchesCodecPath(t *testing.T) {
+	covered := 0
+	for _, spec := range Specs() {
+		ip, ok := spec.New().(InPlace)
+		if !ok || !ip.InPlaceOK() {
+			continue
+		}
+		covered++
+		t.Run(spec.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			longLived := spec.New()
+			hopA, hopB := spec.New(), spec.New() // codec-path scratch, alternating
+			inplace := spec.New().(InPlace)      // in-place scratch
+
+			bufIP := make([]byte, spec.StateLen)
+			bufCodec := make([]byte, spec.StateLen)
+			inplace.EncodeState(bufIP)
+			hopA.EncodeState(bufCodec)
+			if !bytes.Equal(bufIP, bufCodec) {
+				t.Fatal("fresh snapshots differ before any feedback")
+			}
+
+			rate := 0
+			for step := 0; step < 5000; step++ {
+				fb := randFeedback(rng, rate)
+				want := longLived.Apply(fb)
+
+				got, ok := inplace.ApplyInPlace(bufIP, fb)
+				if !ok {
+					t.Fatalf("step %d: in-place apply refused a valid buffer", step)
+				}
+
+				c := hopA
+				if step%2 == 1 {
+					c = hopB
+				}
+				if err := c.DecodeState(bufCodec); err != nil {
+					t.Fatalf("step %d: decode: %v", step, err)
+				}
+				gotCodec := c.Apply(fb)
+				c.EncodeState(bufCodec)
+
+				if got != want || gotCodec != want {
+					t.Fatalf("step %d: in-place %d, codec %d, long-lived %d (fb %+v)",
+						step, got, gotCodec, want, fb)
+				}
+				if !bytes.Equal(bufIP, bufCodec) {
+					t.Fatalf("step %d: in-place buffer diverged from the codec-path buffer", step)
+				}
+				rate = want
+			}
+		})
+	}
+	if covered == 0 {
+		t.Fatal("no registered algorithm advertises in-place execution (SampleRate should)")
+	}
+}
+
+// TestInPlaceGating pins which configurations run in place: the serving
+// SampleRate does; unbounded or shared-PRNG SampleRates and the other
+// clocked algorithms fall back to the codec path.
+func TestInPlaceGating(t *testing.T) {
+	if ip, ok := New(AlgoSampleRate).(InPlace); !ok || !ip.InPlaceOK() {
+		t.Fatal("serving SampleRate must advertise in-place execution")
+	}
+	for _, id := range []Algo{AlgoRRAA, AlgoSNR, AlgoCHARM} {
+		if ip, ok := New(id).(InPlace); ok && ip.InPlaceOK() {
+			t.Fatalf("algorithm %d claims in-place execution without an engine", id)
+		}
+	}
+	// A SampleRate on a shared *rand.Rand has no relocatable PRNG state.
+	s := ratectl.NewSampleRate(rate.Evaluation(), NominalAirtimes(), rand.New(rand.NewSource(1)))
+	s.WindowCap = servingWindowCap
+	if Wrap(s).(InPlace).InPlaceOK() {
+		t.Fatal("shared-PRNG SampleRate must not run in place")
+	}
+	// And the unbounded simulator configuration has no fixed-width state.
+	u := ratectl.NewSampleRate(rate.Evaluation(), NominalAirtimes(), ratectl.NewSplitMix(1))
+	if Wrap(u).(InPlace).InPlaceOK() {
+		t.Fatal("unbounded SampleRate must not run in place")
+	}
+	if _, ok := New(AlgoSoftRate).(InPlace); ok {
+		t.Fatal("SoftRate has its own 8-byte fast path; it should not pass through the InPlace probe")
+	}
+}
+
 // TestFeedbackKindMapping pins the Apply → OnResult translation against
 // the MAC's (mac.resToRatectl): same kinds, same flags.
 func TestFeedbackKindMapping(t *testing.T) {

@@ -23,12 +23,20 @@
 //     invisible to the protocol, it only sheds hot-map bookkeeping.
 //   - Locking is striped per shard; batches are routed shard-by-shard so a
 //     batch of B feedbacks takes O(shards-touched) lock acquisitions, not
-//     O(B).
+//     O(B). With Config.BatchWorkers one caller's batch additionally fans
+//     its shard visits out across cores, byte-identically to the
+//     sequential executor (per-link order is per-shard order, and shards
+//     are independent).
+//   - Within a shard visit, contiguous ops for one link are serviced as a
+//     run: one lookup and one state materialization for the run, and
+//     wide-state algorithms that implement ctl.InPlace (SampleRate) are
+//     applied directly to the slab slot with no decode/encode at all.
 package linkstore
 
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softrate/internal/bitutil"
@@ -60,6 +68,27 @@ type Config struct {
 	// Clock returns the current time in nanoseconds (default
 	// time.Now().UnixNano; injectable for deterministic tests).
 	Clock func() int64
+	// ExpectedLinks pre-sizes each shard's hot map and (lazily, on first
+	// use per algorithm) its state slabs for about this many links store-
+	// wide. Without it, growing a store to millions of links goes through
+	// O(log n) map rehashes and slab doublings, each a full copy under the
+	// shard lock — the batch_max_ns cold spikes. 0 starts small.
+	ExpectedLinks int
+	// ExpectedLinksPerAlgo refines the slab reserve for stores serving a
+	// mix of algorithms: each algorithm's slabs reserve for about this
+	// many links store-wide instead of ExpectedLinks. 0 defaults to
+	// ExpectedLinks — right when all links run one algorithm, but a
+	// factor-of-algorithms memory overcommit for a heterogeneous fleet
+	// of wide-state links.
+	ExpectedLinksPerAlgo int
+	// BatchWorkers, when > 1, lets a single ApplyBatch call fan its shard
+	// visits out across up to this many goroutines (the batch is already
+	// routed shard-by-shard; shards are independent, so per-link order —
+	// which is per-shard order — is preserved and the output and resulting
+	// store state are byte-identical to the sequential executor at any
+	// worker count). 0 or 1 keeps ApplyBatch single-threaded; concurrency
+	// then comes from concurrent callers, as before.
+	BatchWorkers int
 }
 
 // Op is one feedback event addressed to one link. It is deliberately 32
@@ -188,7 +217,12 @@ type slab struct {
 	free []uint32
 }
 
-func (s *slab) alloc(w int) uint32 {
+// alloc returns a free slot, growing the backing array as needed. reserve
+// is a capacity hint in slots: the first growth of an empty slab jumps
+// straight to it, so a store sized with Config.ExpectedLinks never pays
+// the doubling-copy cascade for algorithms that actually see traffic
+// (and algorithms that don't never allocate at all).
+func (s *slab) alloc(w, reserve int) uint32 {
 	if n := len(s.free); n > 0 {
 		slot := s.free[n-1]
 		s.free = s.free[:n-1]
@@ -203,6 +237,9 @@ func (s *slab) alloc(w int) uint32 {
 		newCap := 2 * cap(s.data)
 		if newCap < need {
 			newCap = need
+		}
+		if r := reserve * w; cap(s.data) == 0 && newCap < r {
+			newCap = r
 		}
 		nd := make([]byte, len(s.data), newCap)
 		copy(nd, s.data)
@@ -232,8 +269,14 @@ type shard struct {
 	// scratch: the overwhelmingly common algorithm skips the interface
 	// round trip (DecodeState/Apply/EncodeState collapse to two uint32
 	// loads, the §3.3 threshold rule, and two stores).
-	soft      []*core.SoftRate // indexed by algo ID; nil for other types
-	perAlgo   []algoCounters   // indexed by algo ID
+	soft []*core.SoftRate // indexed by algo ID; nil for other types
+	// inplace caches scratch controllers that run directly against their
+	// slab slot (ctl.InPlace): wide-state ops then skip the DecodeState /
+	// EncodeState round trip entirely — for SampleRate that round trip is
+	// ~3.4 KB of serialization per op and dominates the algorithm's
+	// serving cost.
+	inplace   []ctl.InPlace  // indexed by algo ID; nil when unsupported
+	perAlgo   []algoCounters // indexed by algo ID
 	smallBuf  [inlineState]byte
 	stats     ShardStats
 	lastSweep int64
@@ -250,6 +293,8 @@ type Store struct {
 	widths      []int    // indexed by algo ID; -1 = unregistered
 	fresh       [][]byte // indexed by algo ID: a new controller's state
 	build       func(ctl.Algo) ctl.Controller
+	workers     int // parallel ApplyBatch executors (<=1: sequential)
+	slabReserve int // per-shard slab capacity hint, in slots
 	shards      []shard
 
 	scratchPool sync.Pool // *batchScratch, for ApplyBatch routing
@@ -257,6 +302,7 @@ type Store struct {
 
 type batchScratch struct {
 	perShard [][]int32
+	shards   []int32 // shards touched by the current batch, in visit order
 }
 
 // New builds a Store.
@@ -303,13 +349,26 @@ func New(cfg Config) *Store {
 	if st.widths[st.defaultAlgo] < 0 {
 		panic("linkstore: default algorithm is not registered")
 	}
+	st.workers = cfg.BatchWorkers
+	perShard := 0
+	if cfg.ExpectedLinks > 0 {
+		perShard = cfg.ExpectedLinks/n + 1
+	}
+	st.slabReserve = perShard
+	if cfg.ExpectedLinksPerAlgo > 0 {
+		st.slabReserve = cfg.ExpectedLinksPerAlgo/n + 1
+	}
 	st.shards = make([]shard, n)
 	for i := range st.shards {
-		st.shards[i].links = make(map[uint64]entry)
-		st.shards[i].archive = make(map[uint64]archived)
+		st.shards[i].links = make(map[uint64]entry, perShard)
+		// The archive only fills under TTL churn and rarely holds the whole
+		// population; an eighth of the hot-map hint avoids doubling the
+		// up-front footprint while still skipping the early rehashes.
+		st.shards[i].archive = make(map[uint64]archived, perShard/8)
 		st.shards[i].slabs = make([]slab, nAlgos)
 		st.shards[i].scratch = make([]ctl.Controller, nAlgos)
 		st.shards[i].soft = make([]*core.SoftRate, nAlgos)
+		st.shards[i].inplace = make([]ctl.InPlace, nAlgos)
 		st.shards[i].perAlgo = make([]algoCounters, nAlgos)
 		// The default algorithm's scratch is built eagerly: it serves
 		// every op that doesn't name an algorithm, and pre-building keeps
@@ -317,7 +376,7 @@ func New(cfg Config) *Store {
 		st.shards[i].scratchFor(st, st.defaultAlgo)
 	}
 	st.scratchPool.New = func() any {
-		return &batchScratch{perShard: make([][]int32, n)}
+		return &batchScratch{perShard: make([][]int32, n), shards: make([]int32, 0, n)}
 	}
 	return st
 }
@@ -363,6 +422,8 @@ func (sh *shard) scratchFor(st *Store, a ctl.Algo) ctl.Controller {
 		sh.scratch[a] = c
 		if s, ok := c.(*ctl.SoftRate); ok && c.StateLen() == 8 {
 			sh.soft[a] = s.SR
+		} else if ip, ok := c.(ctl.InPlace); ok && ip.InPlaceOK() && st.widths[a] > inlineState {
+			sh.inplace[a] = ip
 		}
 	}
 	return c
@@ -380,7 +441,7 @@ func (sh *shard) createLocked(st *Store, id uint64, algo ctl.Algo) entry {
 			if w <= inlineState {
 				copy(e.state[:w], a.state(w))
 			} else {
-				slot := sh.slabs[a.algo].alloc(w)
+				slot := sh.slabs[a.algo].alloc(w, st.slabReserve)
 				e.setSlot(slot)
 				copy(sh.slabs[a.algo].at(slot, w), a.state(w))
 			}
@@ -396,7 +457,7 @@ func (sh *shard) createLocked(st *Store, id uint64, algo ctl.Algo) entry {
 	if w <= inlineState {
 		copy(e.state[:w], st.fresh[algo])
 	} else {
-		slot := sh.slabs[algo].alloc(w)
+		slot := sh.slabs[algo].alloc(w, st.slabReserve)
 		e.setSlot(slot)
 		copy(sh.slabs[algo].at(slot, w), st.fresh[algo])
 	}
@@ -406,17 +467,42 @@ func (sh *shard) createLocked(st *Store, id uint64, algo ctl.Algo) entry {
 	return e
 }
 
-// applyLocked runs one op against a shard. Caller holds sh.mu.
-func (sh *shard) applyLocked(st *Store, op Op, nowTick uint32) int {
+// applyShardLocked services a shard's slice of one batch: idxs index into
+// ops/out in batch order. Contiguous ops for the same link — the natural
+// shape when a sender batches several frames' feedback per station — are
+// serviced as one run: one map lookup, one TTL stamp, and one state
+// decode/encode for the whole run instead of one per op. Caller holds
+// sh.mu.
+func (sh *shard) applyShardLocked(st *Store, ops []Op, idxs []int32, out []int32, nowTick uint32) {
+	for k := 0; k < len(idxs); {
+		id := ops[idxs[k]].LinkID
+		j := k + 1
+		for j < len(idxs) && ops[idxs[j]].LinkID == id {
+			j++
+		}
+		sh.applyRunLocked(st, ops, idxs[k:j], out, nowTick)
+		k = j
+	}
+}
+
+// applyRunLocked runs one link's consecutive ops against a shard. The
+// link's state is materialized once, every op of the run applied, and the
+// result written back once — for in-place-capable wide-state algorithms
+// (ctl.InPlace) it is never materialized at all and each op mutates the
+// slab slot directly. Caller holds sh.mu.
+func (sh *shard) applyRunLocked(st *Store, ops []Op, run []int32, out []int32, nowTick uint32) {
+	id := ops[run[0]].LinkID
 	// Hot path: the link exists and its algorithm is already bound, so
 	// the op's Algo field doesn't even need resolving.
-	e, ok := sh.links[op.LinkID]
+	e, ok := sh.links[id]
 	if ok {
-		sh.stats.Hits++
+		sh.stats.Hits += uint64(len(run))
 	} else {
-		e = sh.createLocked(st, op.LinkID, st.resolveAlgo(op.Algo))
+		e = sh.createLocked(st, id, st.resolveAlgo(ops[run[0]].Algo))
+		// Later ops of a creating run find the link hot, exactly as the
+		// op-at-a-time accounting would report.
+		sh.stats.Hits += uint64(len(run) - 1)
 	}
-	var ri int
 	if sr := sh.soft[e.algo]; sr != nil {
 		// SoftRate fast path (scratch built eagerly in New): the 8-byte
 		// inline state is decoded, applied and re-encoded with no
@@ -426,22 +512,40 @@ func (sh *shard) applyLocked(st *Store, op Op, nowTick uint32) int {
 			RateIndex: int32(binary.LittleEndian.Uint32(e.state[0:4])),
 			SilentRun: int32(binary.LittleEndian.Uint32(e.state[4:8])),
 		})
-		ri = sr.Apply(op.Kind, int(op.RateIndex), op.BER)
+		for _, i := range run {
+			out[i] = int32(sr.Apply(ops[i].Kind, int(ops[i].RateIndex), ops[i].BER))
+		}
 		snap := sr.Snapshot()
 		binary.LittleEndian.PutUint32(e.state[0:4], uint32(snap.RateIndex))
 		binary.LittleEndian.PutUint32(e.state[4:8], uint32(snap.SilentRun))
 	} else if w := st.widths[e.algo]; w > inlineState {
 		c := sh.scratchFor(st, e.algo)
 		buf := sh.slabs[e.algo].at(e.slot(), w)
-		if err := c.DecodeState(buf); err != nil {
-			// Unreachable through the public API (slots only ever hold
-			// what EncodeState wrote); recover to a fresh controller
-			// rather than poisoning the shard.
-			copy(buf, st.fresh[e.algo])
-			c.DecodeState(buf)
+		if ip := sh.inplace[e.algo]; ip != nil {
+			for _, i := range run {
+				ri, ok := ip.ApplyInPlace(buf, ops[i].feedback())
+				if !ok {
+					// Unreachable through the public API (slots only ever
+					// hold what EncodeState wrote); recover to a fresh
+					// controller rather than poisoning the shard.
+					copy(buf, st.fresh[e.algo])
+					c.DecodeState(buf)
+					ri = c.Apply(ops[i].feedback())
+					c.EncodeState(buf)
+				}
+				out[i] = int32(ri)
+			}
+		} else {
+			if err := c.DecodeState(buf); err != nil {
+				// Unreachable through the public API; recover as above.
+				copy(buf, st.fresh[e.algo])
+				c.DecodeState(buf)
+			}
+			for _, i := range run {
+				out[i] = int32(c.Apply(ops[i].feedback()))
+			}
+			c.EncodeState(buf)
 		}
-		ri = c.Apply(op.feedback())
-		c.EncodeState(buf)
 	} else if w > 0 {
 		// Small-state interface path: bounce through the shard's scratch
 		// buffer rather than slicing e.state directly — a slice of a
@@ -454,15 +558,19 @@ func (sh *shard) applyLocked(st *Store, op Op, nowTick uint32) int {
 			copy(buf, st.fresh[e.algo])
 			c.DecodeState(buf)
 		}
-		ri = c.Apply(op.feedback())
+		for _, i := range run {
+			out[i] = int32(c.Apply(ops[i].feedback()))
+		}
 		c.EncodeState(buf)
 		copy(e.state[:w], buf)
 	} else {
-		ri = sh.scratchFor(st, e.algo).Apply(op.feedback())
+		c := sh.scratchFor(st, e.algo)
+		for _, i := range run {
+			out[i] = int32(c.Apply(ops[i].feedback()))
+		}
 	}
 	e.lastUsed = nowTick
-	sh.links[op.LinkID] = e
-	return ri
+	sh.links[id] = e
 }
 
 // sweepLocked evicts idle links. Caller holds sh.mu.
@@ -518,42 +626,114 @@ func (st *Store) Apply(op Op) int {
 	now := st.cfg.Clock()
 	nowTick := st.tickOf(now)
 	sh := st.shardFor(op.LinkID)
+	ops := [1]Op{op}
+	idx := [1]int32{0}
+	var out [1]int32
 	sh.mu.Lock()
-	ri := sh.applyLocked(st, op, nowTick)
+	sh.applyRunLocked(st, ops[:], idx[:], out[:], nowTick)
 	sh.maybeSweepLocked(st, now)
 	sh.mu.Unlock()
-	return ri
+	return int(out[0])
 }
+
+// BatchStats receives per-batch tallies collected during ApplyBatchStats'
+// routing pass — the pass that touches every op anyway — so service-level
+// accounting costs no extra iteration over the batch.
+type BatchStats struct {
+	// Kinds counts the batch's ops per feedback kind (out-of-range kinds
+	// are not counted).
+	Kinds [core.NumKinds]uint64
+}
+
+// minParallelOps is the smallest batch the parallel executor bothers
+// with: below it, the goroutine handoff costs more than the shard visits.
+const minParallelOps = 64
 
 // ApplyBatch processes ops and writes the chosen rate index of ops[i] to
 // out[i], which must be at least len(ops) long. Ops are routed shard by
 // shard — each touched shard's lock is taken exactly once — while per-link
 // ordering is preserved (a link's ops live in one shard and are applied in
-// batch order). Returns out[:len(ops)].
+// batch order). With Config.BatchWorkers > 1 the shard visits of one call
+// run concurrently; outputs and resulting store state are byte-identical
+// either way. Returns out[:len(ops)].
 func (st *Store) ApplyBatch(ops []Op, out []int32) []int32 {
+	return st.ApplyBatchStats(ops, out, nil)
+}
+
+// ApplyBatchStats is ApplyBatch with per-batch tallies: when bs is
+// non-nil it is filled during the routing pass. bs is not written
+// atomically — it must not be shared with other goroutines mid-call.
+func (st *Store) ApplyBatchStats(ops []Op, out []int32, bs *BatchStats) []int32 {
 	now := st.cfg.Clock()
 	nowTick := st.tickOf(now)
 	scratch := st.scratchPool.Get().(*batchScratch)
+	touched := scratch.shards[:0]
 	for i := range ops {
 		si := st.shardIndex(ops[i].LinkID)
+		if len(scratch.perShard[si]) == 0 {
+			touched = append(touched, int32(si))
+		}
 		scratch.perShard[si] = append(scratch.perShard[si], int32(i))
+		if bs != nil {
+			if k := ops[i].Kind; k < core.NumKinds {
+				bs.Kinds[k]++
+			}
+		}
 	}
-	for si := range scratch.perShard {
-		idxs := scratch.perShard[si]
-		if len(idxs) == 0 {
-			continue
+	scratch.shards = touched
+	if st.workers > 1 && len(touched) > 1 && len(ops) >= minParallelOps {
+		st.applyShardsParallel(ops, out, scratch, nowTick, now)
+	} else {
+		for _, si := range touched {
+			st.applyOneShard(ops, out, scratch, si, nowTick, now)
 		}
-		sh := &st.shards[si]
-		sh.mu.Lock()
-		for _, i := range idxs {
-			out[i] = int32(sh.applyLocked(st, ops[i], nowTick))
-		}
-		sh.maybeSweepLocked(st, now)
-		sh.mu.Unlock()
-		scratch.perShard[si] = idxs[:0]
 	}
 	st.scratchPool.Put(scratch)
 	return out[:len(ops)]
+}
+
+// applyOneShard visits one routed shard of a batch and releases its slice
+// of the routing scratch.
+func (st *Store) applyOneShard(ops []Op, out []int32, scratch *batchScratch, si int32, nowTick uint32, now int64) {
+	sh := &st.shards[si]
+	sh.mu.Lock()
+	sh.applyShardLocked(st, ops, scratch.perShard[si], out, nowTick)
+	sh.maybeSweepLocked(st, now)
+	sh.mu.Unlock()
+	scratch.perShard[si] = scratch.perShard[si][:0]
+}
+
+// applyShardsParallel fans one batch's shard visits out over up to
+// st.workers goroutines (the caller is one of them). Shards are handed
+// out via an atomic cursor; each is visited by exactly one worker, and
+// out[] writes are disjoint by construction, so no further coordination
+// is needed and the result is byte-identical to the sequential loop.
+func (st *Store) applyShardsParallel(ops []Op, out []int32, scratch *batchScratch, nowTick uint32, now int64) {
+	touched := scratch.shards
+	n := st.workers
+	if n > len(touched) {
+		n = len(touched)
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			k := cursor.Add(1) - 1
+			if k >= int64(len(touched)) {
+				return
+			}
+			st.applyOneShard(ops, out, scratch, touched[k], nowTick, now)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for i := 0; i < n-1; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
 }
 
 // Peek returns the link's algorithm and a copy of its encoded controller

@@ -35,11 +35,29 @@ import (
 //	  [20:24) airtime float32 bits (seconds; 0 = unknown)
 //	  [24:28) snr     float32 bits (dB; NaN = unknown)
 //
-// The two framings are self-distinguishing by length alone: a v1 payload
-// is a multiple of 18 bytes (even), while a v2 payload is 1+28·n bytes
-// (always odd) — so v1 peers keep working byte-for-byte against a v2
-// server. Over TCP each batch is prefixed with a uint32 payload length
-// (see tcp.go); the in-process API skips framing entirely.
+//	v3 ("pipelined") request payload: one version byte (0x03), a uint32
+//	little-endian request ID chosen by the client, then v2-format 28-byte
+//	records. v3 is the pipelined framing mode: because responses carry the
+//	request ID back, a client may keep many batches in flight on one
+//	connection instead of running stop-and-wait (bounded by its response-
+//	byte budget — see maxPipelineBytes in tcp.go), and the server
+//	coalesces response flushes while more requests are already buffered
+//	(see tcp.go). The server answers requests of one connection strictly
+//	in arrival order — per-link decision order is the order the client
+//	submitted, exactly as with one batch in flight.
+//
+//	response, to a v1/v2 request: a uint32 record count followed by one
+//	rate-index byte per record, in request order.
+//	response, to a v3 request: the uint32 request ID being answered, then
+//	the count and rate bytes as above.
+//
+// The three framings are self-distinguishing by length alone: a v1
+// payload is a multiple of 18 bytes (even), a v2 payload is 1+28·n bytes
+// (always odd, ≡1 mod 28), and a v3 payload is 5+28·n bytes (also odd,
+// ≡5 mod 28, and 10n+5 ≡ 0 mod 18 has no solution) — so v1 and v2 peers
+// keep working byte-for-byte against a v3-capable server. Over TCP each
+// payload is prefixed with a uint32 payload length (see tcp.go); the
+// in-process API skips framing entirely.
 
 // RecordSize is the encoded size of one v1 feedback record.
 const RecordSize = 18
@@ -49,6 +67,12 @@ const RecordSizeV2 = 28
 
 // VersionV2 is the v2 payload's leading version byte.
 const VersionV2 = 0x02
+
+// VersionV3 is the pipelined request payload's leading version byte.
+const VersionV3 = 0x03
+
+// headerSizeV3 is the v3 payload header: version byte + uint32 request ID.
+const headerSizeV3 = 5
 
 // flagDelivered is the v2 flags bit reporting an intact frame body.
 const flagDelivered = 1 << 0
@@ -82,7 +106,19 @@ func AppendOps(buf []byte, ops []linkstore.Op) []byte {
 // AppendOpsV2 appends a whole batch in the v2 format: the version byte
 // followed by one 28-byte record per op.
 func AppendOpsV2(buf []byte, ops []linkstore.Op) []byte {
-	buf = append(buf, VersionV2)
+	return appendRecordsV2(append(buf, VersionV2), ops)
+}
+
+// AppendOpsV3 appends a whole batch in the pipelined v3 format: the
+// version byte, the request ID, then one 28-byte record per op.
+func AppendOpsV3(buf []byte, reqID uint32, ops []linkstore.Op) []byte {
+	buf = append(buf, VersionV3)
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], reqID)
+	return appendRecordsV2(append(buf, id[:]...), ops)
+}
+
+func appendRecordsV2(buf []byte, ops []linkstore.Op) []byte {
 	for i := range ops {
 		op := &ops[i]
 		var rec [RecordSizeV2]byte
@@ -121,6 +157,20 @@ func DecodeBatch(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 // versions too.
 func DecodeOps(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 	return DecodeBatch(payload, dst)
+}
+
+// DecodeRequest parses any request payload the server accepts: v1, v2, or
+// pipelined v3. For v3 it additionally returns the request ID and
+// tagged=true, telling the responder to tag its response frame. The
+// length classes of the three framings are disjoint (see the package
+// comment), so the dispatch is unambiguous.
+func DecodeRequest(payload []byte, dst []linkstore.Op) (ops []linkstore.Op, reqID uint32, tagged bool, err error) {
+	if len(payload) >= headerSizeV3 && payload[0] == VersionV3 && (len(payload)-headerSizeV3)%RecordSizeV2 == 0 {
+		ops, err = decodeV2(payload[headerSizeV3:], dst)
+		return ops, binary.LittleEndian.Uint32(payload[1:5]), true, err
+	}
+	ops, err = DecodeBatch(payload, dst)
+	return ops, 0, false, err
 }
 
 func decodeV1(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {

@@ -53,11 +53,42 @@ func FuzzDecodeBatch(f *testing.F) {
 		nanBER[i] = 0xff // NaN BER bits
 	}
 	f.Add(nanBER)
+	v3 := AppendOpsV3(nil, 0x01020304, []linkstore.Op{
+		{LinkID: 9, Algo: ctl.AlgoSampleRate, Kind: core.KindBER, RateIndex: 2, BER: 1e-6, SNRdB: float32(math.NaN()), Airtime: 5e-4, Delivered: true},
+	})
+	f.Add(v3)
+	f.Add(v3[:headerSizeV3])      // empty pipelined batch
+	f.Add(v3[:len(v3)-1])         // truncated v3 record
+	f.Add(append(v3, 0, 0, 0, 0)) // length in no framing class
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
+		// The full request surface first: DecodeRequest must never panic,
+		// must tag exactly the v3 length class, and must agree with
+		// DecodeBatch on everything else.
+		reqOps, reqID, tagged, reqErr := DecodeRequest(payload, nil)
+		isV3 := len(payload) >= headerSizeV3 && payload[0] == VersionV3 &&
+			(len(payload)-headerSizeV3)%RecordSizeV2 == 0
+		if tagged != isV3 {
+			t.Fatalf("tagged=%v for a payload of length %d (v3 shape: %v, err %v)",
+				tagged, len(payload), isV3, reqErr)
+		}
+		if tagged && reqErr == nil {
+			// A tagged decode must survive a v3 re-encode unchanged.
+			re, id2, tag2, err := DecodeRequest(AppendOpsV3(nil, reqID, reqOps), nil)
+			if err != nil || !tag2 || id2 != reqID || len(re) != len(reqOps) {
+				t.Fatalf("v3 round trip broke: id %d→%d tagged=%v err=%v", reqID, id2, tag2, err)
+			}
+		}
+
 		ops, err := DecodeBatch(payload, nil)
 		if err != nil {
 			return
+		}
+		if isV3 {
+			t.Fatalf("a v3-shaped payload of length %d was accepted by the batch decoder", len(payload))
+		}
+		if !tagged && (reqErr != nil || len(reqOps) != len(ops)) {
+			t.Fatalf("DecodeRequest disagrees with DecodeBatch on an untagged payload: %v", reqErr)
 		}
 		var wantN int
 		switch {

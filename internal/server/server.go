@@ -65,19 +65,16 @@ func (s *Server) Store() *linkstore.Store { return s.store }
 // chosen rate index for ops[i] to out[i] (which must be at least len(ops)
 // long). It is safe for concurrent use. Returns out[:len(ops)].
 func (s *Server) Decide(ops []linkstore.Op, out []int32) []int32 {
-	res := s.store.ApplyBatch(ops, out)
+	// Kind tallies ride along in the store's shard-routing pass (which
+	// walks every op anyway), so service counters cost zero extra
+	// iterations; they are then folded in with one atomic per kind per
+	// batch, not one per record — the counters share a cache line and
+	// concurrent Decide callers would otherwise bounce it for every frame.
+	var bs linkstore.BatchStats
+	res := s.store.ApplyBatchStats(ops, out, &bs)
 	atomic.AddUint64(&s.batches, 1)
 	atomic.AddUint64(&s.frames, uint64(len(ops)))
-	// Accumulate kind counts locally: one atomic per kind per batch, not
-	// one per record — the counters share a cache line and concurrent
-	// Decide callers would otherwise bounce it for every frame.
-	var kinds [core.NumKinds]uint64
-	for i := range ops {
-		if k := ops[i].Kind; k < core.NumKinds {
-			kinds[k]++
-		}
-	}
-	for k, n := range kinds {
+	for k, n := range bs.Kinds {
 		if n > 0 {
 			atomic.AddUint64(&s.kinds[k], n)
 		}

@@ -16,14 +16,24 @@ import (
 // TCP transport: each request batch is a uint32 little-endian payload
 // length followed by that many bytes of feedback records (codec.go); each
 // response is a uint32 record count followed by one rate-index byte per
-// record, in request order. One request is answered before the next is
-// read, so a connection is a simple pipeline with at most one batch in
-// flight per client — senders wanting more parallelism open more
-// connections (the MAC has one feedback stream per link anyway).
+// record, in request order (v3 responses are additionally prefixed with
+// the request ID).
+//
+// Classic (v1/v2) connections are stop-and-wait: one batch in flight,
+// each response flushed before the next request is read. With the v3
+// framing a client keeps up to its pipeline depth of batches in flight;
+// the server still answers strictly in arrival order, but it only
+// flushes its write buffer when no further request bytes are already
+// buffered — so a full pipeline amortizes one syscall-and-wakeup round
+// trip over many batches instead of paying it per batch. That deferral
+// is safe with any conforming client: a client always finishes writing
+// (and flushing) a request before it waits for responses, so bytes the
+// server sees buffered are always the prefix of work it can finish
+// without waiting on the peer.
 
-// maxPayload is the largest accepted batch payload (a full v2 batch:
-// version byte plus MaxBatch records).
-const maxPayload = 1 + MaxBatch*RecordSizeV2
+// maxPayload is the largest accepted batch payload (a full pipelined
+// batch: v3 header plus MaxBatch records).
+const maxPayload = headerSizeV3 + MaxBatch*RecordSizeV2
 
 type tcpState struct {
 	mu        sync.Mutex
@@ -154,42 +164,111 @@ func (s *Server) handleConn(conn net.Conn) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
-		var err error
-		ops, err = DecodeBatch(payload, ops)
+		ops2, reqID, tagged, err := DecodeRequest(payload, ops)
 		if err != nil {
 			return
 		}
+		ops = ops2
 		if cap(out) < len(ops) {
 			out = make([]int32, len(ops))
 		}
 		s.Decide(ops, out[:len(ops)])
 
-		resp = resp[:0]
-		var cnt [4]byte
-		binary.LittleEndian.PutUint32(cnt[:], uint32(len(ops)))
-		resp = append(resp, cnt[:]...)
-		for _, ri := range out[:len(ops)] {
-			resp = append(resp, uint8(ri))
+		// Response: [reqID?][count][one rate byte per record], written
+		// with indexed stores into a right-sized reused buffer.
+		need := 4 + len(ops)
+		if tagged {
+			need += 4
+		}
+		if cap(resp) < need {
+			resp = make([]byte, need)
+		}
+		resp = resp[:need]
+		off := 0
+		if tagged {
+			binary.LittleEndian.PutUint32(resp[0:4], reqID)
+			off = 4
+		}
+		binary.LittleEndian.PutUint32(resp[off:off+4], uint32(len(ops)))
+		for i, ri := range out[:len(ops)] {
+			resp[off+4+i] = uint8(ri)
 		}
 		if _, err := bw.Write(resp); err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		// Pipelining: defer the flush while more request bytes are already
+		// buffered — the pending responses go out in one write once the
+		// burst is served. (bufio transparently flushes earlier if the
+		// responses outgrow the buffer.)
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
 
 // Client is a TCP client for the decision service. It is not safe for
 // concurrent use; open one Client per sending goroutine.
+//
+// A Client is poisoned by its first transport or protocol error: the
+// connection's framing state is then unknown (there may be unread
+// response bytes on the wire), so instead of silently reading garbage,
+// every subsequent call fails fast with the original error. Dial again to
+// recover. Argument-validation errors (oversized batch, unencodable rate
+// index) are detected before anything is written and do not poison.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	buf  []byte
+	err  error // sticky poison
+
+	// Pipelined mode (DialPipelined): up to depth requests in flight,
+	// answered in order and matched by request ID through a reused
+	// response ring. Slots are assigned by rotating cursors, not by
+	// reqID arithmetic, so the uint32 request IDs may wrap freely.
+	depth      int
+	nextID     uint32
+	nextRespID uint32
+	subSlot    int // ring slot the next Submit takes
+	respSlot   int // ring slot the next response belongs to
+	respBytes  int // response bytes in flight, against maxPipelineBytes
+	ring       []Pending
 }
 
-// Dial connects to a softrated server.
+// maxPipelineBytes bounds the response bytes outstanding on a pipelined
+// connection. The client only reads responses inside Wait, so an
+// unbounded Submit burst could fill the server's write buffer and both
+// socket buffers with responses until the server blocks writing and
+// stops reading — a mutual write-write deadlock. Keeping all in-flight
+// responses within the server's own 64 KB write buffer means the server
+// can always finish serving everything the client has submitted without
+// blocking on the socket. A batch's response is 8 bytes + one byte per
+// record.
+const maxPipelineBytes = 32 << 10
+
+// Pending is one in-flight pipelined batch. It stays owned by the Client:
+// valid from the Submit that returned it until its Wait returns, after
+// which the slot (and its response buffer) is reused by a later Submit
+// and the Pending may not be waited on again.
+type Pending struct {
+	id    uint32
+	n     int
+	live  bool // occupies its ring slot: submitted, Wait not yet returned
+	done  bool // response received (possibly parked awaiting its Wait)
+	rates []byte
+}
+
+// ErrPipelineFull is returned by Submit when the connection cannot take
+// another batch: either every ring slot is occupied — its full depth of
+// batches submitted and not yet Waited on (a parked, already-answered
+// batch still holds its slot until its Wait collects it) — or the new
+// batch's response would push the outstanding response bytes past the
+// deadlock-safety budget. Wait on the oldest Pending first.
+var ErrPipelineFull = errors.New("server: pipeline full")
+
+// Dial connects to a softrated server in classic stop-and-wait mode.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -202,24 +281,173 @@ func Dial(addr string) (*Client, error) {
 	}, nil
 }
 
+// DialPipelined connects to a softrated server in pipelined (v3) mode:
+// up to depth batches may be in flight at once via Submit/Wait (further
+// capped by the maxPipelineBytes response budget), and Decide becomes a
+// Submit immediately followed by its Wait.
+func DialPipelined(addr string, depth int) (*Client, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("server: pipeline depth %d, need at least 1", depth)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.depth = depth
+	c.ring = make([]Pending, depth)
+	return c, nil
+}
+
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Decide sends one batch (always in the v2 encoding — the server accepts
-// v1 from older peers, but only v2 carries per-link algorithm selection
-// and the frame-level feedback fields) and writes the returned rate
-// indices to out (which must be at least len(ops) long). Returns
-// out[:len(ops)].
-func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
+// poison records the first transport/protocol error and returns it; all
+// later calls fail fast with a wrapped form of it.
+func (c *Client) poison(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("server: client poisoned by earlier error: %w", err)
+	}
+	return err
+}
+
+// validate rejects batches the wire cannot carry, before any bytes move.
+func validate(ops []linkstore.Op) error {
 	if len(ops) > MaxBatch {
-		return nil, fmt.Errorf("server: batch of %d exceeds maximum %d", len(ops), MaxBatch)
+		return fmt.Errorf("server: batch of %d exceeds maximum %d", len(ops), MaxBatch)
 	}
 	for i := range ops {
 		// The wire record has one byte for the rate index; reject rather
 		// than truncate to a different, valid-looking index.
 		if ops[i].RateIndex < 0 || ops[i].RateIndex > 255 {
-			return nil, fmt.Errorf("server: op %d: rate index %d not encodable in one byte", i, ops[i].RateIndex)
+			return fmt.Errorf("server: op %d: rate index %d not encodable in one byte", i, ops[i].RateIndex)
 		}
+	}
+	return nil
+}
+
+// Submit sends one batch in the pipelined framing without waiting for its
+// response and returns its Pending token. The write lands in the client's
+// buffer; it reaches the wire by the time any Wait needs it (or when the
+// buffer fills), so a burst of Submits travels as one segment. Requires a
+// DialPipelined client with in-flight capacity.
+func (c *Client) Submit(ops []linkstore.Op) (*Pending, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.depth == 0 {
+		return nil, errors.New("server: Submit needs a pipelined client (use DialPipelined)")
+	}
+	p := &c.ring[c.subSlot]
+	if p.live {
+		// The slot's previous batch was submitted but its Wait has not
+		// returned yet (it may be parked, answered but uncollected);
+		// reusing the slot would hand its response to the wrong Pending.
+		return nil, ErrPipelineFull
+	}
+	if need := 8 + len(ops); c.respBytes > 0 && c.respBytes+need > maxPipelineBytes {
+		// A lone oversized batch is allowed (with nothing else in flight
+		// it is effectively stop-and-wait); stacking it is not.
+		return nil, ErrPipelineFull
+	}
+	if err := validate(ops); err != nil {
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.subSlot++
+	if c.subSlot == c.depth {
+		c.subSlot = 0
+	}
+	c.respBytes += 8 + len(ops)
+	p.id, p.n, p.live, p.done = id, len(ops), true, false
+
+	c.buf = c.buf[:0]
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(headerSizeV3+len(ops)*RecordSizeV2))
+	c.buf = append(c.buf, hdr[:]...)
+	c.buf = AppendOpsV3(c.buf, id, ops)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return nil, c.poison(err)
+	}
+
+	return p, nil
+}
+
+// Wait blocks until p's response arrives and writes its rate indices to
+// out (which must be at least as long as p's batch), then releases p's
+// ring slot for a later Submit. Responses arrive in submission order;
+// waiting on a newer Pending parks the older ones' responses in their
+// ring slots, so Wait order is free — but each Pending may be waited on
+// exactly once.
+func (c *Client) Wait(p *Pending, out []int32) ([]int32, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if p == nil || !p.live {
+		return nil, errors.New("server: Wait on a Pending that is not in flight")
+	}
+	for !p.done {
+		if err := c.bw.Flush(); err != nil {
+			return nil, c.poison(err)
+		}
+		var hdr [8]byte
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			return nil, c.poison(err)
+		}
+		id := binary.LittleEndian.Uint32(hdr[0:4])
+		count := binary.LittleEndian.Uint32(hdr[4:8])
+		if id != c.nextRespID {
+			return nil, c.poison(fmt.Errorf("server: response for request %d, expected %d", id, c.nextRespID))
+		}
+		q := &c.ring[c.respSlot]
+		if q.id != id || !q.live || q.done {
+			return nil, c.poison(fmt.Errorf("server: response for request %d, which is not in flight", id))
+		}
+		if int(count) != q.n {
+			return nil, c.poison(fmt.Errorf("server: response count %d for a batch of %d", count, q.n))
+		}
+		if cap(q.rates) < q.n {
+			q.rates = make([]byte, q.n)
+		}
+		q.rates = q.rates[:q.n]
+		if _, err := io.ReadFull(c.br, q.rates); err != nil {
+			return nil, c.poison(err)
+		}
+		q.done = true
+		c.nextRespID++
+		c.respSlot++
+		if c.respSlot == c.depth {
+			c.respSlot = 0
+		}
+		c.respBytes -= 8 + q.n
+	}
+	for i, b := range p.rates {
+		out[i] = int32(b)
+	}
+	p.live = false // slot free for reuse from here on
+	return out[:p.n], nil
+}
+
+// Decide sends one batch and writes the returned rate indices to out
+// (which must be at least len(ops) long), returning out[:len(ops)]. On a
+// classic client it runs the stop-and-wait v2 exchange (the server
+// accepts v1 from older peers, but only v2 carries per-link algorithm
+// selection and the frame-level feedback fields); on a pipelined client
+// it is Submit immediately followed by its Wait and may interleave with
+// other in-flight batches.
+func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.depth > 0 {
+		p, err := c.Submit(ops)
+		if err != nil {
+			return nil, err
+		}
+		return c.Wait(p, out)
+	}
+	if err := validate(ops); err != nil {
+		return nil, err
 	}
 	c.buf = c.buf[:0]
 	var hdr [4]byte
@@ -227,18 +455,20 @@ func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
 	c.buf = append(c.buf, hdr[:]...)
 	c.buf = AppendOpsV2(c.buf, ops)
 	if _, err := c.bw.Write(c.buf); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if int(n) != len(ops) {
-		return nil, fmt.Errorf("server: response count %d for a batch of %d", n, len(ops))
+		// The connection now has n unread rate bytes in transit; poisoning
+		// keeps a later call from reading them as a length prefix.
+		return nil, c.poison(fmt.Errorf("server: response count %d for a batch of %d", n, len(ops)))
 	}
 	c.buf = c.buf[:0]
 	if cap(c.buf) < int(n) {
@@ -246,7 +476,7 @@ func (c *Client) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
 	}
 	c.buf = c.buf[:n]
 	if _, err := io.ReadFull(c.br, c.buf); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 	for i, b := range c.buf {
 		out[i] = int32(b)
