@@ -1,0 +1,235 @@
+// Command softrate-simbench measures the simulation hot path — the
+// encode/channel/decode chain that regenerates every paper artifact — and
+// emits the committed BENCH_experiments.json artifact next to the loadgen
+// bench artifacts. It is the figure-reproduction counterpart of
+// softrate-loadgen's -bench-out: frames/s and decoded Mbit/s for the
+// decoders and the full TX→channel→RX chain at the Fig 7/9 frame shape,
+// steady-state allocations per operation, and wall times for the heaviest
+// PHY-bound harnesses.
+//
+//	softrate-simbench -duration 2s -format json -out BENCH_experiments.json
+//
+// CI runs it with floors as a throughput-regression guard:
+//
+//	softrate-simbench -min-fig79-fps 40 -require-zero-allocs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"softrate/internal/channel"
+	"softrate/internal/coding"
+	"softrate/internal/experiments"
+	"softrate/internal/phy"
+	"softrate/internal/rate"
+	"softrate/internal/softphy"
+)
+
+// prePRBaseline records the last pre-optimization measurement of this
+// suite (PR 4 tree, 1-core Intel Xeon @ 2.10GHz, the host that produced
+// the committed artifact), so the committed BENCH_experiments.json always
+// carries the before/after pair the acceptance floor is defined against.
+var prePRBaseline = baseline{
+	Host:                   "1-core Intel Xeon @ 2.10GHz",
+	TxRxFig79FramesPerSec:  27.3,
+	TxRxFig79AllocsPerOp:   6310,
+	DecodeBCJRFramesPerSec: 20.0,
+	DecodeBCJRAllocsPerOp:  4,
+	DecodeBCJRBytesPerOp:   2033664,
+}
+
+type baseline struct {
+	Host                   string  `json:"host"`
+	TxRxFig79FramesPerSec  float64 `json:"txrx_fig79_frames_per_sec"`
+	TxRxFig79AllocsPerOp   float64 `json:"txrx_fig79_allocs_per_op"`
+	DecodeBCJRFramesPerSec float64 `json:"decode_bcjr_frames_per_sec"`
+	DecodeBCJRAllocsPerOp  float64 `json:"decode_bcjr_allocs_per_op"`
+	DecodeBCJRBytesPerOp   float64 `json:"decode_bcjr_bytes_per_op"`
+}
+
+// benchResult is one measured operation class.
+type benchResult struct {
+	Name string `json:"name"`
+	// NsPerOp is the mean wall time of one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// FramesPerSec is 1e9/NsPerOp: each op processes one frame.
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// DecodedMbitPerSec is info bits decoded per second, in Mbit/s.
+	DecodedMbitPerSec float64 `json:"decoded_mbit_per_sec,omitempty"`
+	// AllocsPerOp is the steady-state heap allocation count (warm
+	// workspace); the CI gate requires 0 for the decode and chain benches.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// harnessResult is the wall time of one full experiment harness run.
+type harnessResult struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+type report struct {
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"go_version"`
+	NumCPU     int             `json:"num_cpu"`
+	DurationS  float64         `json:"bench_duration_sec"`
+	Benches    []benchResult   `json:"benches"`
+	Harnesses  []harnessResult `json:"harnesses"`
+	Baseline   baseline        `json:"baseline_pre_pr"`
+	SpeedupTx  float64         `json:"txrx_speedup_vs_pre_pr"`
+	SpeedupDec float64         `json:"decode_speedup_vs_pre_pr"`
+}
+
+// measure runs op in a closed loop for roughly d and returns mean ns/op
+// and the steady-state allocs/op.
+func measure(d time.Duration, op func()) (nsPerOp, allocsPerOp float64) {
+	op() // warm every scratch buffer
+	allocsPerOp = testing.AllocsPerRun(5, op)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < d {
+		op()
+		n++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n), allocsPerOp
+}
+
+// fig79LLRs builds the decoder input of a Fig 7/9-shaped payload: 244 info
+// bytes (240 + FCS) at rate 1/2 under AWGN.
+func fig79LLRs(nInfo int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	info := make([]byte, nInfo)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	coded := coding.Encode(info)
+	llrs := make([]float64, len(coded))
+	for i, b := range coded {
+		x := -1.0
+		if b != 0 {
+			x = 1.0
+		}
+		llrs[i] = 2 * (x + 0.7*rng.NormFloat64()) / (0.7 * 0.7)
+	}
+	return llrs
+}
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 2*time.Second, "measurement window per bench")
+		format     = flag.String("format", "text", "output format: text or json")
+		out        = flag.String("out", "", "also write the JSON report to this file")
+		minFPS     = flag.Float64("min-fig79-fps", 0, "fail below this many frames/s on the Fig 7/9 chain (0 = off)")
+		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail if any warm decode/chain bench allocates")
+	)
+	flag.Parse()
+
+	rep := report{
+		Schema:    "softrate-simbench/v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		DurationS: duration.Seconds(),
+		Baseline:  prePRBaseline,
+	}
+
+	const nInfo = (240 + 4) * 8 // Fig 7/9 payload shape
+	llrs := fig79LLRs(nInfo)
+	var dec coding.Workspace
+
+	addBench := func(name string, bits int, op func()) benchResult {
+		ns, allocs := measure(*duration, op)
+		r := benchResult{
+			Name:         name,
+			NsPerOp:      ns,
+			FramesPerSec: 1e9 / ns,
+			AllocsPerOp:  allocs,
+		}
+		if bits > 0 {
+			r.DecodedMbitPerSec = float64(bits) * (1e9 / ns) / 1e6
+		}
+		rep.Benches = append(rep.Benches, r)
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10.1f frames/s %8.3f Mbit/s %6g allocs/op\n",
+			name, r.NsPerOp, r.FramesPerSec, r.DecodedMbitPerSec, r.AllocsPerOp)
+		return r
+	}
+
+	decodeRes := addBench("decode_bcjr_logmap", nInfo, func() { dec.DecodeBCJR(llrs, nInfo, coding.LogMAP) })
+	addBench("decode_bcjr_maxlog", nInfo, func() { dec.DecodeBCJR(llrs, nInfo, coding.MaxLog) })
+	addBench("decode_viterbi", nInfo, func() { dec.DecodeViterbi(llrs, nInfo) })
+
+	// The Fig 7/9 chain: transmit, deliver over a static 14 dB channel,
+	// summarize hints — the exact per-frame work of collectFrames.
+	cfg := phy.DefaultConfig()
+	ws := phy.NewWorkspace()
+	link := &phy.Link{Cfg: cfg, Model: channel.NewStaticModel(14, nil), Rng: rand.New(rand.NewSource(2)), WS: ws}
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 240)
+	rng.Read(payload)
+	frame := phy.Frame{Header: []byte{9, 9, 9, 9}, Payload: payload, Rate: rate.ByIndex(4)}
+	fi := 0
+	chainRes := addBench("txrx_fig79_chain", nInfo, func() {
+		tx := phy.TransmitWS(ws, cfg, frame)
+		rx := link.Deliver(tx, float64(fi)*0.01, nil)
+		fi++
+		if rx.Detected {
+			_ = softphy.FrameBER(rx.Hints)
+		}
+	})
+
+	// Whole-harness wall times for the PHY-dominated figures.
+	for _, id := range []string{"fig7", "fig9"} {
+		start := time.Now()
+		if _, err := experiments.Run(id, experiments.Options{Scale: 0.1, Seed: 1}); err != nil {
+			fmt.Fprintf(os.Stderr, "harness %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		h := harnessResult{Name: id + "_scale0.1", WallMs: float64(time.Since(start).Microseconds()) / 1e3}
+		rep.Harnesses = append(rep.Harnesses, h)
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ms wall\n", h.Name, h.WallMs)
+	}
+
+	rep.SpeedupTx = chainRes.FramesPerSec / prePRBaseline.TxRxFig79FramesPerSec
+	rep.SpeedupDec = decodeRes.FramesPerSec / prePRBaseline.DecodeBCJRFramesPerSec
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *format == "json" {
+		os.Stdout.Write(blob)
+	} else {
+		fmt.Printf("fig79 chain: %.1f frames/s (%.2fx pre-PR), decode: %.1f frames/s (%.2fx pre-PR)\n",
+			chainRes.FramesPerSec, rep.SpeedupTx, decodeRes.FramesPerSec, rep.SpeedupDec)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	if *minFPS > 0 && chainRes.FramesPerSec < *minFPS {
+		fmt.Fprintf(os.Stderr, "FAIL: fig79 chain %.1f frames/s below floor %.1f\n", chainRes.FramesPerSec, *minFPS)
+		failed = true
+	}
+	if *zeroAllocs {
+		for _, b := range rep.Benches {
+			if b.AllocsPerOp != 0 {
+				fmt.Fprintf(os.Stderr, "FAIL: %s allocates %g per op in steady state, want 0\n", b.Name, b.AllocsPerOp)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -22,26 +22,46 @@ func Mix64(x uint64) uint64 {
 // most-significant bit first, matching the transmission order used by the
 // PHY encoder.
 func BytesToBits(data []byte) []byte {
-	bits := make([]byte, 0, len(data)*8)
-	for _, b := range data {
-		for i := 7; i >= 0; i-- {
-			bits = append(bits, (b>>uint(i))&1)
-		}
-	}
-	return bits
+	return AppendBytesToBits(make([]byte, 0, len(data)*8), data)
 }
 
 // BitsToBytes packs a bit slice (one bit per byte, MSB first) back into
 // bytes. If len(bits) is not a multiple of 8 the final byte is zero-padded
 // in its least-significant positions.
 func BitsToBytes(bits []byte) []byte {
-	out := make([]byte, (len(bits)+7)/8)
-	for i, b := range bits {
-		if b != 0 {
-			out[i/8] |= 1 << uint(7-i%8)
+	return AppendBitsToBytes(make([]byte, 0, (len(bits)+7)/8), bits)
+}
+
+// AppendBitsToBytes appends the packed form of bits (MSB first, final byte
+// zero-padded) to dst and returns the extended slice, allocating nothing
+// when dst has sufficient capacity.
+func AppendBitsToBytes(dst []byte, bits []byte) []byte {
+	for base := 0; base < len(bits); base += 8 {
+		var b byte
+		end := base + 8
+		if end > len(bits) {
+			end = len(bits)
+		}
+		for i := base; i < end; i++ {
+			if bits[i] != 0 {
+				b |= 1 << uint(7-i%8)
+			}
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// AppendBytesToBits appends the unpacked bits of data (one bit per byte,
+// MSB first) to dst and returns the extended slice, allocating nothing
+// when dst has sufficient capacity.
+func AppendBytesToBits(dst []byte, data []byte) []byte {
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			dst = append(dst, (b>>uint(i))&1)
 		}
 	}
-	return out
+	return dst
 }
 
 // CountBitErrors returns the number of positions at which a and b differ.

@@ -54,11 +54,17 @@ func CRC32(data []byte) uint32 {
 // AppendCRC32 returns data with its CRC-32 appended big-endian, forming the
 // over-the-air frame body the PHY encodes.
 func AppendCRC32(data []byte) []byte {
+	return AppendCRC32To(make([]byte, 0, len(data)+4), data)
+}
+
+// AppendCRC32To appends data followed by its big-endian CRC-32 to dst and
+// returns the extended slice, allocating nothing when dst has sufficient
+// capacity. It is the single source of the frame-body wire format that
+// CheckCRC32 verifies.
+func AppendCRC32To(dst []byte, data []byte) []byte {
 	crc := CRC32(data)
-	out := make([]byte, 0, len(data)+4)
-	out = append(out, data...)
-	out = append(out, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
-	return out
+	dst = append(dst, data...)
+	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
 }
 
 // CheckCRC32 verifies a frame produced by AppendCRC32 and returns the

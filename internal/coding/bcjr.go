@@ -47,101 +47,164 @@ const bcjrNegInf = -1e30
 //
 // The trellis is terminated (Encode's tail), so both recursions are
 // anchored in state 0.
+//
+// This package-level form allocates fresh output and trellis planes per
+// call; the hot path uses Workspace.DecodeBCJR, which is bit-for-bit
+// equivalent and allocation-free in steady state.
 func DecodeBCJR(llrs []float64, nInfo int, mode BCJRMode) (info []byte, llrOut []float64) {
+	var w Workspace
+	wsInfo, wsLLR := w.DecodeBCJR(llrs, nInfo, mode)
+	// The workspace is function-local, so its buffers can be handed out
+	// directly — they are freshly allocated and never reused.
+	return wsInfo, wsLLR
+}
+
+// branchMetrics computes the four possible branch log-likelihoods of one
+// trellis step, indexed by the packed coded-bit pair o (out0 in bit 1,
+// out1 in bit 0). The arithmetic matches the historical per-branch
+// computation exactly: bm[o] = -0.5*(l0+l1), then +l0 if o&2, then +l1 if
+// o&1, in that association order — recomputed once per step instead of
+// once per (state, input) branch.
+func branchMetrics(l0, l1 float64) (bm [4]float64) {
+	base := -0.5 * (l0 + l1)
+	bm[0] = base
+	bm[1] = base + l1
+	bm[2] = base + l0
+	bm[3] = (base + l0) + l1
+	return bm
+}
+
+// DecodeBCJR is the workspace form of the package-level DecodeBCJR: same
+// inputs, bit-identical outputs, zero steady-state allocations. The
+// returned slices alias the workspace and are valid until its next call.
+func (w *Workspace) DecodeBCJR(llrs []float64, nInfo int, mode BCJRMode) (info []byte, llrOut []float64) {
 	steps := nInfo + TailBits
-	if len(llrs) < 2*steps {
-		padded := make([]float64, 2*steps)
-		copy(padded, llrs)
-		llrs = padded
-	}
+	llrs = w.padLLRs(llrs, steps)
 	tr := theTrellis
 
-	comb := func(a, b float64) float64 {
-		if a <= bcjrNegInf {
-			return b
-		}
-		if b <= bcjrNegInf {
-			return a
-		}
-		if mode == MaxLog {
-			if a > b {
-				return a
-			}
-			return b
-		}
-		return maxStar(a, b)
-	}
+	w.alpha = growF(w.alpha, (steps+1)*numStates)
+	w.beta = growF(w.beta, (steps+1)*numStates)
+	alpha, beta := w.alpha, w.beta
 
-	// Forward recursion.
-	alpha := make([][numStates]float64, steps+1)
+	// Forward recursion. Every plane row is fully initialized before it is
+	// combined into, so a reused workspace is indistinguishable from a
+	// fresh one.
+	alpha[0] = 0
 	for s := 1; s < numStates; s++ {
-		alpha[0][s] = bcjrNegInf
+		alpha[s] = bcjrNegInf
 	}
 	for t := 0; t < steps; t++ {
-		l0, l1 := llrs[2*t], llrs[2*t+1]
-		for s := 0; s < numStates; s++ {
-			alpha[t+1][s] = bcjrNegInf
+		bm := branchMetrics(llrs[2*t], llrs[2*t+1])
+		cur := alpha[t*numStates : (t+1)*numStates : (t+1)*numStates]
+		nxt := alpha[(t+1)*numStates : (t+2)*numStates : (t+2)*numStates]
+		for s := range nxt {
+			nxt[s] = bcjrNegInf
 		}
 		for s := 0; s < numStates; s++ {
-			a := alpha[t][s]
+			a := cur[s]
 			if a <= bcjrNegInf {
 				continue
 			}
-			for u := uint8(0); u < 2; u++ {
+			for u := 0; u < 2; u++ {
 				ns := tr.nextState[s][u]
-				g := branchMetric(tr.output[s][u], l0, l1)
-				alpha[t+1][ns] = comb(alpha[t+1][ns], a+g)
+				m := a + bm[tr.output[s][u]]
+				// Inlined comb(nxt[ns], m): sentinel checks first, then
+				// max-log or exact Jacobian combine.
+				if x := nxt[ns]; x <= bcjrNegInf {
+					nxt[ns] = m
+				} else if m <= bcjrNegInf {
+					// keep x
+				} else if mode == MaxLog {
+					if !(x > m) {
+						nxt[ns] = m
+					}
+				} else {
+					nxt[ns] = maxStar(x, m)
+				}
 			}
 		}
-		normalize(&alpha[t+1])
+		normalize(nxt)
 	}
 
 	// Backward recursion.
-	beta := make([][numStates]float64, steps+1)
+	beta[steps*numStates] = 0
 	for s := 1; s < numStates; s++ {
-		beta[steps][s] = bcjrNegInf
+		beta[steps*numStates+s] = bcjrNegInf
 	}
 	for t := steps - 1; t >= 0; t-- {
-		l0, l1 := llrs[2*t], llrs[2*t+1]
-		for s := 0; s < numStates; s++ {
-			beta[t][s] = bcjrNegInf
+		bm := branchMetrics(llrs[2*t], llrs[2*t+1])
+		cur := beta[t*numStates : (t+1)*numStates : (t+1)*numStates]
+		nxt := beta[(t+1)*numStates : (t+2)*numStates : (t+2)*numStates]
+		for s := range cur {
+			cur[s] = bcjrNegInf
 		}
 		for s := 0; s < numStates; s++ {
-			for u := uint8(0); u < 2; u++ {
-				ns := tr.nextState[s][u]
-				b := beta[t+1][ns]
+			for u := 0; u < 2; u++ {
+				b := nxt[tr.nextState[s][u]]
 				if b <= bcjrNegInf {
 					continue
 				}
-				g := branchMetric(tr.output[s][u], l0, l1)
-				beta[t][s] = comb(beta[t][s], b+g)
+				m := b + bm[tr.output[s][u]]
+				if x := cur[s]; x <= bcjrNegInf {
+					cur[s] = m
+				} else if m <= bcjrNegInf {
+					// keep x
+				} else if mode == MaxLog {
+					if !(x > m) {
+						cur[s] = m
+					}
+				} else {
+					cur[s] = maxStar(x, m)
+				}
 			}
 		}
-		normalize(&beta[t])
+		normalize(cur)
 	}
 
 	// Per-bit APP LLRs.
-	info = make([]byte, nInfo)
-	llrOut = make([]float64, nInfo)
+	w.info = growB(w.info, nInfo)
+	w.llrOut = growF(w.llrOut, nInfo)
+	info, llrOut = w.info, w.llrOut
 	for t := 0; t < nInfo; t++ {
-		l0, l1 := llrs[2*t], llrs[2*t+1]
+		bm := branchMetrics(llrs[2*t], llrs[2*t+1])
+		at := alpha[t*numStates : (t+1)*numStates : (t+1)*numStates]
+		bt := beta[(t+1)*numStates : (t+2)*numStates : (t+2)*numStates]
 		num, den := bcjrNegInf, bcjrNegInf // input 1, input 0
 		for s := 0; s < numStates; s++ {
-			a := alpha[t][s]
+			a := at[s]
 			if a <= bcjrNegInf {
 				continue
 			}
-			for u := uint8(0); u < 2; u++ {
-				ns := tr.nextState[s][u]
-				b := beta[t+1][ns]
+			for u := 0; u < 2; u++ {
+				b := bt[tr.nextState[s][u]]
 				if b <= bcjrNegInf {
 					continue
 				}
-				m := a + branchMetric(tr.output[s][u], l0, l1) + b
+				m := (a + bm[tr.output[s][u]]) + b
 				if u == 1 {
-					num = comb(num, m)
+					if num <= bcjrNegInf {
+						num = m
+					} else if m <= bcjrNegInf {
+						// keep num
+					} else if mode == MaxLog {
+						if !(num > m) {
+							num = m
+						}
+					} else {
+						num = maxStar(num, m)
+					}
 				} else {
-					den = comb(den, m)
+					if den <= bcjrNegInf {
+						den = m
+					} else if m <= bcjrNegInf {
+						// keep den
+					} else if mode == MaxLog {
+						if !(den > m) {
+							den = m
+						}
+					} else {
+						den = maxStar(den, m)
+					}
 				}
 			}
 		}
@@ -149,14 +212,16 @@ func DecodeBCJR(llrs []float64, nInfo int, mode BCJRMode) (info []byte, llrOut [
 		llrOut[t] = llr
 		if llr >= 0 {
 			info[t] = 1
+		} else {
+			info[t] = 0
 		}
 	}
 	return info, llrOut
 }
 
-// normalize subtracts the maximum from a metric vector to keep the log
-// domain recursion numerically bounded over long frames.
-func normalize(v *[numStates]float64) {
+// normalize subtracts the maximum from a metric row to keep the log domain
+// recursion numerically bounded over long frames.
+func normalize(v []float64) {
 	max := v[0]
 	for _, x := range v[1:] {
 		if x > max {

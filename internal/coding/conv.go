@@ -70,20 +70,26 @@ func buildTrellis() *trellis {
 // terminates the trellis by appending TailBits zero bits. The output has
 // 2*(len(info)+TailBits) coded bits, interleaved as out0, out1 per input.
 func Encode(info []byte) []byte {
-	out := make([]byte, 0, 2*(len(info)+TailBits))
+	return AppendEncode(make([]byte, 0, 2*(len(info)+TailBits)), info)
+}
+
+// AppendEncode appends the rate-1/2 coded stream (including the
+// terminating tail) to dst and returns the extended slice, allocating
+// nothing when dst has sufficient capacity.
+func AppendEncode(dst []byte, info []byte) []byte {
 	state := uint8(0)
-	emit := func(u byte) {
-		o := theTrellis.output[state][u]
-		out = append(out, o>>1&1, o&1)
-		state = theTrellis.nextState[state][u]
-	}
+	tr := theTrellis
 	for _, b := range info {
-		emit(b & 1)
+		o := tr.output[state][b&1]
+		dst = append(dst, o>>1&1, o&1)
+		state = tr.nextState[state][b&1]
 	}
 	for i := 0; i < TailBits; i++ {
-		emit(0)
+		o := tr.output[state][0]
+		dst = append(dst, o>>1&1, o&1)
+		state = tr.nextState[state][0]
 	}
-	return out
+	return dst
 }
 
 // CodedLen returns the number of rate-1/2 coded bits produced by Encode for

@@ -46,21 +46,29 @@ func (r CodeRate) Value() float64 {
 	return float64(n) / float64(d)
 }
 
-// puncturePattern returns the keep/drop mask applied cyclically to the
-// rate-1/2 coded stream (ordered out0,out1 per input bit). The patterns are
-// the standard 802.11a ones: for rate 3/4 the puncturing matrix is
-// A=[1 1 0], B=[1 0 1] (transmit a1 b1 a2 b3); for rate 2/3 it is
-// A=[1 1], B=[1 0] (transmit a1 b1 a2).
+// The keep/drop masks applied cyclically to the rate-1/2 coded stream
+// (ordered out0,out1 per input bit), shared read-only so the hot path
+// never rebuilds them. The patterns are the standard 802.11a ones: for
+// rate 3/4 the puncturing matrix is A=[1 1 0], B=[1 0 1] (transmit
+// a1 b1 a2 b3); for rate 2/3 it is A=[1 1], B=[1 0] (transmit a1 b1 a2).
+var (
+	patRate12 = []bool{true, true}
+	// Stream order a1 b1 a2 b2 -> keep a1 b1 a2.
+	patRate23 = []bool{true, true, true, false}
+	// Stream order a1 b1 a2 b2 a3 b3 -> keep a1 b1 a2 b3.
+	patRate34 = []bool{true, true, true, false, false, true}
+)
+
+// puncturePattern returns the shared keep/drop mask for r. Callers must
+// treat the slice as read-only.
 func (r CodeRate) puncturePattern() []bool {
 	switch r {
 	case Rate12:
-		return []bool{true, true}
+		return patRate12
 	case Rate23:
-		// Stream order a1 b1 a2 b2 -> keep a1 b1 a2.
-		return []bool{true, true, true, false}
+		return patRate23
 	case Rate34:
-		// Stream order a1 b1 a2 b2 a3 b3 -> keep a1 b1 a2 b3.
-		return []bool{true, true, true, false, false, true}
+		return patRate34
 	}
 	panic("coding: unknown code rate")
 }
@@ -68,14 +76,19 @@ func (r CodeRate) puncturePattern() []bool {
 // Puncture drops coded bits from the rate-1/2 stream according to the
 // pattern for r, producing the transmitted coded stream.
 func Puncture(coded []byte, r CodeRate) []byte {
+	return AppendPuncture(make([]byte, 0, len(coded)*3/4), coded, r)
+}
+
+// AppendPuncture appends the punctured stream to dst and returns the
+// extended slice, allocating nothing when dst has sufficient capacity.
+func AppendPuncture(dst []byte, coded []byte, r CodeRate) []byte {
 	pat := r.puncturePattern()
-	out := make([]byte, 0, len(coded)*3/4)
 	for i, b := range coded {
 		if pat[i%len(pat)] {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out
+	return dst
 }
 
 // PuncturedLen returns the number of transmitted coded bits for a rate-1/2
@@ -104,10 +117,23 @@ func PuncturedLen(n int, r CodeRate) int {
 // It returns an error-shaped panic-free nil if llrs is shorter than the
 // punctured length implies; callers validate sizes upstream.
 func DepunctureLLR(llrs []float64, r CodeRate, nCoded int) []float64 {
+	return depunctureInto(make([]float64, nCoded), llrs, r)
+}
+
+// DepunctureLLR is the workspace form of the package-level DepunctureLLR:
+// same semantics, zero steady-state allocations. The returned slice
+// aliases the workspace and is valid until its next call.
+func (w *Workspace) DepunctureLLR(llrs []float64, r CodeRate, nCoded int) []float64 {
+	w.depunct = growF(w.depunct, nCoded)
+	clear(w.depunct)
+	return depunctureInto(w.depunct, llrs, r)
+}
+
+// depunctureInto scatters llrs into the zeroed rate-1/2 lattice out.
+func depunctureInto(out []float64, llrs []float64, r CodeRate) []float64 {
 	pat := r.puncturePattern()
-	out := make([]float64, nCoded)
 	j := 0
-	for i := 0; i < nCoded && j < len(llrs); i++ {
+	for i := 0; i < len(out) && j < len(llrs); i++ {
 		if pat[i%len(pat)] {
 			out[i] = llrs[j]
 			j++

@@ -9,26 +9,37 @@ package coding
 // confidence; it exists as the baseline decoder against which the
 // soft-output BCJR decoder is compared (ablation in DESIGN.md §4).
 func DecodeViterbi(llrs []float64, nInfo int) []byte {
+	var w Workspace
+	return w.DecodeViterbi(llrs, nInfo)
+}
+
+// DecodeViterbi is the workspace form of the package-level DecodeViterbi:
+// same inputs, bit-identical output, zero steady-state allocations. The
+// returned slice aliases the workspace and is valid until its next call.
+func (w *Workspace) DecodeViterbi(llrs []float64, nInfo int) []byte {
 	steps := nInfo + TailBits
-	if len(llrs) < 2*steps {
-		padded := make([]float64, 2*steps)
-		copy(padded, llrs)
-		llrs = padded
-	}
+	llrs = w.padLLRs(llrs, steps)
 	const negInf = -1e30
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
+	w.metric = growF(w.metric, numStates)
+	w.next = growF(w.next, numStates)
+	metric, next := w.metric, w.next
+	metric[0] = 0
 	for s := 1; s < numStates; s++ {
 		metric[s] = negInf
 	}
-	// survivors[t][s] holds the predecessor state of the winning branch
-	// into state s at step t. Both branches entering a state carry the
-	// same input bit (the state's top bit), so the input is recovered
-	// from the state itself during traceback.
-	survivors := make([][numStates]uint8, steps)
+	// survivors[t*numStates+s] holds the predecessor state of the winning
+	// branch into state s at step t. Both branches entering a state carry
+	// the same input bit (the state's top bit), so the input is recovered
+	// from the state itself during traceback. The plane is cleared so that
+	// a reused workspace matches a fresh zeroed allocation even on inputs
+	// that leave states unreachable.
+	w.survivors = growB(w.survivors, steps*numStates)
+	survivors := w.survivors
+	clear(survivors)
 	tr := theTrellis
 	for t := 0; t < steps; t++ {
-		l0, l1 := llrs[2*t], llrs[2*t+1]
+		bm := branchMetrics(llrs[2*t], llrs[2*t+1])
+		row := survivors[t*numStates : (t+1)*numStates : (t+1)*numStates]
 		for s := range next {
 			next[s] = negInf
 		}
@@ -37,25 +48,26 @@ func DecodeViterbi(llrs []float64, nInfo int) []byte {
 			if m <= negInf {
 				continue
 			}
-			for u := uint8(0); u < 2; u++ {
+			for u := 0; u < 2; u++ {
 				ns := tr.nextState[s][u]
-				o := tr.output[s][u]
-				bm := m + branchMetric(o, l0, l1)
-				if bm > next[ns] {
-					next[ns] = bm
-					survivors[t][ns] = uint8(s)
+				cand := m + bm[tr.output[s][u]]
+				if cand > next[ns] {
+					next[ns] = cand
+					row[ns] = uint8(s)
 				}
 			}
 		}
 		metric, next = next, metric
 	}
+	w.metric, w.next = metric, next
 	// Traceback from state 0 (terminated trellis). The input bit consumed
 	// when entering state s is s's most significant state bit.
-	info := make([]byte, steps)
+	w.info = growB(w.info, steps)
+	info := w.info
 	state := uint8(0)
 	for t := steps - 1; t >= 0; t-- {
 		info[t] = state >> (Constraint - 2) & 1
-		state = survivors[t][state]
+		state = survivors[t*numStates+int(state)]
 	}
 	return info[:nInfo]
 }
@@ -63,7 +75,9 @@ func DecodeViterbi(llrs []float64, nInfo int) []byte {
 // branchMetric is the log-likelihood contribution of a branch emitting the
 // coded bit pair o (out0 in bit 1, out1 in bit 0) given channel LLRs l0,l1.
 // With the convention LLR>0 <=> bit 1, the metric for coded bit c with LLR
-// l is +l/2 if c=1, -l/2 if c=0 (the constant common term cancels).
+// l is +l/2 if c=1, -l/2 if c=0 (the constant common term cancels). The
+// decoder inner loops use the per-step branchMetrics table instead; this
+// form remains for tests and documentation.
 func branchMetric(o uint8, l0, l1 float64) float64 {
 	m := -0.5 * (l0 + l1)
 	if o&2 != 0 {

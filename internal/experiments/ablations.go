@@ -43,20 +43,21 @@ func runAblationDecoder(o Options) []*Table {
 		gm float64
 		n  int
 	}
-	res := engine.Map(o.Workers, len(modes), func(i int) decRes {
+	res := engine.MapWith(o.Workers, len(modes), phy.NewWorkspace, func(ws *phy.Workspace, i int) decRes {
 		cfg := phy.DefaultConfig()
 		cfg.Decoder = modes[i].m
 		link := &phy.Link{
 			Cfg:   cfg,
 			Model: channel.NewStaticModel(6.2, nil),
 			Rng:   rand.New(rand.NewSource(o.Seed + 5)),
+			WS:    ws,
 		}
 		rng := rand.New(rand.NewSource(o.Seed + 6))
+		payload := make([]byte, 300)
 		var ratios []float64
 		for f := 0; f < o.scaled(60); f++ {
-			payload := make([]byte, 300)
 			rng.Read(payload)
-			tx := phy.Transmit(cfg, phy.Frame{Header: []byte{1}, Payload: payload, Rate: rate.ByIndex(3)})
+			tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{1}, Payload: payload, Rate: rate.ByIndex(3)})
 			rx := link.Deliver(tx, float64(f), nil)
 			if !rx.Detected || rx.BitErrors < 10 {
 				continue

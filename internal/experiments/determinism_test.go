@@ -23,16 +23,21 @@ func render(t *testing.T, id string, o Options) []byte {
 // seed, an experiment's rendered tables are byte-identical no matter how
 // many workers execute its trials. The set covers PHY sweeps (fig10),
 // MAC simulations (tab1, fig4), timeline experiments (fig15),
-// single-trial harnesses (fig3), netsim fan-outs (fig14) and — most
-// importantly — every multi-stage harness with flattened trial-index
-// arithmetic (fig13, fig16, fig17, ablation-excision), where a
-// transposed index would silently swap results between algorithms.
+// single-trial harnesses (fig3), netsim fan-outs (fig14), every
+// multi-stage harness with flattened trial-index arithmetic (fig13,
+// fig16, fig17, ablation-excision) — where a transposed index would
+// silently swap results between algorithms — and every harness that
+// threads a shared per-worker phy.Workspace through its trials (fig7,
+// fig8, fig9, fig10, fig11, ablation-decoder), where scratch residue
+// leaking between trials on one worker would make output depend on the
+// worker count.
 func TestParallelByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("parallel determinism tests skipped in -short mode")
 	}
 	for _, id := range []string{"fig3", "fig4", "fig10", "fig15", "tab1", "fig14",
-		"fig13", "fig16", "fig17", "ablation-excision"} {
+		"fig13", "fig16", "fig17", "ablation-excision",
+		"fig7", "fig8", "fig9", "fig11", "ablation-decoder"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			o := tiny()

@@ -49,6 +49,38 @@ func TestMapEdgeCases(t *testing.T) {
 	}
 }
 
+func TestMapWithBuildsOneStatePerWorker(t *testing.T) {
+	var built atomic.Int32
+	type scratch struct{ uses int }
+	got := MapWith(4, 64, func() *scratch {
+		built.Add(1)
+		return &scratch{}
+	}, func(ws *scratch, i int) int {
+		ws.uses++ // exclusive to one worker: no synchronization needed
+		return i * 3
+	})
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if n := built.Load(); n < 1 || n > 4 {
+		t.Fatalf("built %d states for 4 workers, want 1..4", n)
+	}
+}
+
+func TestMapWithEdgeCases(t *testing.T) {
+	if got := MapWith(4, 0, func() int { return 0 }, func(int, int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("n=0: got %v", got)
+	}
+	for _, w := range []int{-1, 0, 1, 1000} {
+		got := MapWith(w, 3, func() int { return 10 }, func(s, i int) int { return s + i })
+		if !reflect.DeepEqual(got, []int{10, 11, 12}) {
+			t.Fatalf("workers=%d: got %v", w, got)
+		}
+	}
+}
+
 func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 	run := func(workers int) []int64 {
 		return Map(workers, 50, func(i int) int64 {

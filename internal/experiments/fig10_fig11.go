@@ -34,22 +34,23 @@ const (
 // transmits with random jitter of about one packet time, mirroring the
 // paper's static interference experiment. It returns outcome counts and
 // detection accuracy.
-func runInterferenceTrial(o Options, relPowerDB float64, ri int, frames int, seed int64) (counts [4]int, accuracy float64) {
+func runInterferenceTrial(ws *phy.Workspace, o Options, relPowerDB float64, ri int, frames int, seed int64) (counts [4]int, accuracy float64) {
 	cfg := phy.DefaultConfig()
 	const senderSNR = 17.0
 	link := &phy.Link{
 		Cfg:   cfg,
 		Model: channel.NewStaticModel(senderSNR, nil),
 		Rng:   rand.New(rand.NewSource(seed)),
+		WS:    ws,
 	}
 	rng := rand.New(rand.NewSource(seed + 1))
 	det := softphy.DefaultDetector()
 
+	payload := make([]byte, 480)
 	flagged, errored := 0, 0
 	for i := 0; i < frames; i++ {
-		payload := make([]byte, 480)
 		rng.Read(payload)
-		tx := phy.Transmit(cfg, phy.Frame{Header: []byte{7, 7, 7, 7}, Payload: payload, Rate: rate.ByIndex(ri)})
+		tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{7, 7, 7, 7}, Payload: payload, Rate: rate.ByIndex(ri)})
 		air := tx.Airtime()
 		// Interferer power relative to the unit noise floor.
 		iPow := channel.DBToLinear(senderSNR + relPowerDB)
@@ -98,11 +99,11 @@ func runFig10(o Options) []*Table {
 	}
 	// One trial per interferer power, plus a final trial measuring the
 	// false-positive rate on an interference-free fading channel.
-	res := engine.Map(o.Workers, len(rels)+1, func(i int) powerTrial {
+	res := engine.MapWith(o.Workers, len(rels)+1, phy.NewWorkspace, func(ws *phy.Workspace, i int) powerTrial {
 		if i == len(rels) {
-			return powerTrial{fp: falsePositiveRate(o)}
+			return powerTrial{fp: falsePositiveRate(ws, o)}
 		}
-		counts, acc := runInterferenceTrial(o, rels[i], 3, frames, o.Seed+int64(rels[i]*13))
+		counts, acc := runInterferenceTrial(ws, o, rels[i], 3, frames, o.Seed+int64(rels[i]*13))
 		return powerTrial{counts: counts, acc: acc}
 	})
 	okAll := true
@@ -128,20 +129,21 @@ func runFig10(o Options) []*Table {
 
 // falsePositiveRate measures how often the detector flags fading-induced
 // errors as collisions on a quiet band (the §5.3 false-positive check).
-func falsePositiveRate(o Options) float64 {
+func falsePositiveRate(ws *phy.Workspace, o Options) float64 {
 	cfg := phy.DefaultConfig()
 	link := &phy.Link{
 		Cfg:   cfg,
 		Model: channel.NewStaticModel(11, channel.NewRayleigh(rand.New(rand.NewSource(o.Seed+77)), 40, 0)),
 		Rng:   rand.New(rand.NewSource(o.Seed + 78)),
+		WS:    ws,
 	}
 	rng := rand.New(rand.NewSource(o.Seed + 79))
 	det := softphy.DefaultDetector()
+	payload := make([]byte, 480)
 	flagged, errored := 0, 0
 	for i := 0; i < o.scaled(160); i++ {
-		payload := make([]byte, 480)
 		rng.Read(payload)
-		tx := phy.Transmit(cfg, phy.Frame{Header: []byte{7}, Payload: payload, Rate: rate.ByIndex(3)})
+		tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{7}, Payload: payload, Rate: rate.ByIndex(3)})
 		rx := link.Deliver(tx, float64(i)*0.023, nil)
 		if !rx.Detected || rx.BitErrors == 0 {
 			continue
@@ -171,8 +173,8 @@ func runFig11(o Options) []*Table {
 		counts [4]int
 		acc    float64
 	}
-	res := engine.Map(o.Workers, nRates, func(ri int) rateTrial {
-		counts, acc := runInterferenceTrial(o, -4, ri, frames, o.Seed+int64(ri)*101)
+	res := engine.MapWith(o.Workers, nRates, phy.NewWorkspace, func(ws *phy.Workspace, ri int) rateTrial {
+		counts, acc := runInterferenceTrial(ws, o, -4, ri, frames, o.Seed+int64(ri)*101)
 		return rateTrial{counts, acc}
 	})
 	for ri := 0; ri < nRates; ri++ {

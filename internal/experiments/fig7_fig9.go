@@ -30,17 +30,19 @@ type frameSample struct {
 }
 
 // collectFrames runs the real PHY over a channel model and gathers one
-// sample per delivered frame.
-func collectFrames(cfg phy.Config, model *channel.Model, rates []rate.Rate, frames int, payload int, spacing float64, seed int64) []frameSample {
+// sample per delivered frame. ws is the worker's reusable PHY scratch;
+// every frame of the loop transmits, delivers and summarizes through it
+// without allocating.
+func collectFrames(ws *phy.Workspace, cfg phy.Config, model *channel.Model, rates []rate.Rate, frames int, payload int, spacing float64, seed int64) []frameSample {
 	rng := rand.New(rand.NewSource(seed))
-	link := &phy.Link{Cfg: cfg, Model: model, Rng: rand.New(rand.NewSource(seed + 1))}
+	link := &phy.Link{Cfg: cfg, Model: model, Rng: rand.New(rand.NewSource(seed + 1)), WS: ws}
 	var out []frameSample
+	pl := make([]byte, payload)
 	t := 0.0
 	for i := 0; i < frames; i++ {
 		for _, r := range rates {
-			pl := make([]byte, payload)
 			rng.Read(pl)
-			tx := phy.Transmit(cfg, phy.Frame{Header: []byte{9, 9, 9, 9}, Payload: pl, Rate: r})
+			tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{9, 9, 9, 9}, Payload: pl, Rate: r})
 			rx := link.Deliver(tx, t, nil)
 			t += spacing
 			if !rx.Detected {
@@ -69,9 +71,9 @@ func runFig7(o Options) []*Table {
 	// "20 different transmit powers": a mean-SNR sweep, one trial per
 	// transmit power.
 	snrs := snrSweep(1, 21, 20)
-	perPoint := engine.Map(o.Workers, len(snrs), func(i int) []frameSample {
+	perPoint := engine.MapWith(o.Workers, len(snrs), phy.NewWorkspace, func(ws *phy.Workspace, i int) []frameSample {
 		model := channel.NewStaticModel(snrs[i], nil)
-		return collectFrames(cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31)
+		return collectFrames(ws, cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31)
 	})
 	var samples []frameSample
 	for _, p := range perPoint {
@@ -186,9 +188,9 @@ func runFig8(o Options) []*Table {
 		Title:  "True vs SoftPHY-estimated BER in mobile channels (walking 40 Hz, vehicular 400 Hz)",
 		Header: []string{"est BER (bin)", "walking true BER", "n", "vehicular true BER", "n"},
 	}
-	collect := func(doppler float64, seed int64) []stats.Bin {
+	collect := func(ws *phy.Workspace, doppler float64, seed int64) []stats.Bin {
 		model := channel.NewStaticModel(11, channel.NewRayleigh(rand.New(rand.NewSource(seed)), doppler, 0))
-		samples := collectFrames(cfg, model, []rate.Rate{rate.ByIndex(2), rate.ByIndex(3)}, frames, 240, 0.017, seed+5)
+		samples := collectFrames(ws, cfg, model, []rate.Rate{rate.ByIndex(2), rate.ByIndex(3)}, frames, 240, 0.017, seed+5)
 		var xs, ys []float64
 		for _, s := range samples {
 			if s.errs > 0 {
@@ -202,8 +204,8 @@ func runFig8(o Options) []*Table {
 		doppler float64
 		seed    int64
 	}{{40, o.Seed}, {400, o.Seed + 100}}
-	binsets := engine.Map(o.Workers, len(mobilities), func(i int) []stats.Bin {
-		return collect(mobilities[i].doppler, mobilities[i].seed)
+	binsets := engine.MapWith(o.Workers, len(mobilities), phy.NewWorkspace, func(ws *phy.Workspace, i int) []stats.Bin {
+		return collect(ws, mobilities[i].doppler, mobilities[i].seed)
 	})
 	walk, veh := binsets[0], binsets[1]
 	idx := map[float64][2]*stats.Bin{}
@@ -261,9 +263,9 @@ func runFig9(o Options) []*Table {
 		Title:  "True BER vs preamble SNR at QAM16 1/2 under mobility",
 		Header: []string{"SNR bin (dB)", "walking BER", "n", "vehicular BER", "n"},
 	}
-	collect := func(doppler float64, seed int64) []stats.Bin {
+	collect := func(ws *phy.Workspace, doppler float64, seed int64) []stats.Bin {
 		model := channel.NewStaticModel(13, channel.NewRayleigh(rand.New(rand.NewSource(seed)), doppler, 0))
-		samples := collectFrames(cfg, model, []rate.Rate{rate.ByIndex(4)}, frames, 240, 0.019, seed+5)
+		samples := collectFrames(ws, cfg, model, []rate.Rate{rate.ByIndex(4)}, frames, 240, 0.019, seed+5)
 		var xs, ys []float64
 		for _, s := range samples {
 			xs = append(xs, s.snrDB)
@@ -275,8 +277,8 @@ func runFig9(o Options) []*Table {
 		doppler float64
 		seed    int64
 	}{{40, o.Seed + 200}, {400, o.Seed + 300}}
-	binsets := engine.Map(o.Workers, len(mobilities), func(i int) []stats.Bin {
-		return collect(mobilities[i].doppler, mobilities[i].seed)
+	binsets := engine.MapWith(o.Workers, len(mobilities), phy.NewWorkspace, func(ws *phy.Workspace, i int) []stats.Bin {
+		return collect(ws, mobilities[i].doppler, mobilities[i].seed)
 	})
 	walk, veh := binsets[0], binsets[1]
 	type pair struct{ w, v *stats.Bin }

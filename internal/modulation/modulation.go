@@ -65,11 +65,20 @@ func (s Scheme) bitsPerAxis() int {
 	return s.BitsPerSymbol() / 2
 }
 
-// axisLevels returns the per-axis amplitude for each Gray-coded bit group,
-// indexed by the bit group value, already normalized to unit average
-// symbol energy. grayLevels[g] is the amplitude transmitted for per-axis
-// bits g (MSB first).
-func (s Scheme) axisLevels() []float64 {
+// levelTables holds the per-scheme axis amplitude tables, built once at
+// init so that the per-tone hot path (Demap, HardDecision) never
+// allocates. levelTables[s][g] is the amplitude transmitted for per-axis
+// Gray bits g (MSB first), normalized to unit average symbol energy.
+var levelTables = [4][]float64{
+	BPSK:  buildAxisLevels(BPSK),
+	QPSK:  buildAxisLevels(QPSK),
+	QAM16: buildAxisLevels(QAM16),
+	QAM64: buildAxisLevels(QAM64),
+}
+
+// buildAxisLevels computes the per-axis amplitude for each Gray-coded bit
+// group of one scheme.
+func buildAxisLevels(s Scheme) []float64 {
 	switch s {
 	case BPSK:
 		return []float64{-1, 1} // 0 -> -1, 1 -> +1
@@ -98,15 +107,31 @@ func (s Scheme) axisLevels() []float64 {
 	panic("modulation: unknown scheme")
 }
 
+// axisLevels returns the shared amplitude table for s. Callers must treat
+// the slice as read-only.
+func (s Scheme) axisLevels() []float64 {
+	if s < BPSK || s > QAM64 {
+		panic("modulation: unknown scheme")
+	}
+	return levelTables[s]
+}
+
 // Modulate maps coded bits onto constellation symbols. If len(bits) is not
 // a multiple of BitsPerSymbol the tail is zero-padded (the PHY pads frames
 // to whole OFDM symbols before calling this).
 func Modulate(s Scheme, bits []byte) []complex128 {
 	bps := s.BitsPerSymbol()
+	return AppendModulate(make([]complex128, 0, (len(bits)+bps-1)/bps), s, bits)
+}
+
+// AppendModulate appends the constellation symbols for bits to dst and
+// returns the extended slice, allocating nothing when dst has sufficient
+// capacity.
+func AppendModulate(dst []complex128, s Scheme, bits []byte) []complex128 {
+	bps := s.BitsPerSymbol()
 	nSym := (len(bits) + bps - 1) / bps
 	levels := s.axisLevels()
 	bpa := s.bitsPerAxis()
-	out := make([]complex128, nSym)
 	bit := func(i int) int {
 		if i < len(bits) && bits[i] != 0 {
 			return 1
@@ -120,16 +145,30 @@ func Modulate(s Scheme, bits []byte) []complex128 {
 			gi = gi<<1 | bit(base+j)
 		}
 		if s == BPSK {
-			out[k] = complex(levels[gi], 0)
+			dst = append(dst, complex(levels[gi], 0))
 			continue
 		}
 		gq := 0
 		for j := 0; j < bpa; j++ {
 			gq = gq<<1 | bit(base+bpa+j)
 		}
-		out[k] = complex(levels[gi], levels[gq])
+		dst = append(dst, complex(levels[gi], levels[gq]))
 	}
-	return out
+	return dst
+}
+
+// nearestLevelIndex returns the Gray index of the axis level closest to v,
+// breaking ties toward the lowest index — the same order HardDemap has
+// always used.
+func nearestLevelIndex(levels []float64, v float64) int {
+	best, bd := 0, math.Inf(1)
+	for g, lv := range levels {
+		d := math.Abs(v - lv)
+		if d < bd {
+			bd, best = d, g
+		}
+	}
+	return best
 }
 
 // HardDemap maps a received (already equalized) symbol to the nearest
@@ -137,27 +176,30 @@ func Modulate(s Scheme, bits []byte) []complex128 {
 func HardDemap(s Scheme, z complex128) []byte {
 	levels := s.axisLevels()
 	bpa := s.bitsPerAxis()
-	nearest := func(v float64) int {
-		best, bd := 0, math.Inf(1)
-		for g, lv := range levels {
-			d := math.Abs(v - lv)
-			if d < bd {
-				bd, best = d, g
-			}
-		}
-		return best
-	}
 	bits := make([]byte, 0, s.BitsPerSymbol())
 	appendGray := func(g int) {
 		for j := bpa - 1; j >= 0; j-- {
 			bits = append(bits, byte(g>>j&1))
 		}
 	}
-	appendGray(nearest(real(z)))
+	appendGray(nearestLevelIndex(levels, real(z)))
 	if s != BPSK {
-		appendGray(nearest(imag(z)))
+		appendGray(nearestLevelIndex(levels, imag(z)))
 	}
 	return bits
+}
+
+// HardDecision returns the constellation point nearest to the (already
+// equalized) sample z — exactly Modulate(s, HardDemap(s, z))[0], including
+// tie-breaking — without allocating. It is the receiver's per-tone
+// decision-directed EVM reference.
+func HardDecision(s Scheme, z complex128) complex128 {
+	levels := s.axisLevels()
+	re := levels[nearestLevelIndex(levels, real(z))]
+	if s == BPSK {
+		return complex(re, 0)
+	}
+	return complex(re, levels[nearestLevelIndex(levels, imag(z))])
 }
 
 // Demap computes soft LLRs for the coded bits carried by received sample y

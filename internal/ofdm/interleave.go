@@ -1,5 +1,7 @@
 package ofdm
 
+import "sync"
+
 // The 802.11a block interleaver. Within each OFDM symbol, coded bits are
 // permuted in two steps so that (a) adjacent coded bits land on
 // non-adjacent subcarriers and (b) they alternate between more and less
@@ -33,6 +35,25 @@ func Permutation(ncbps, nbpsc int) []int {
 	return perm
 }
 
+// permCache memoizes Permutation results per (ncbps, nbpsc) pair. Only a
+// handful of combinations exist (modes × modulation schemes), but the PHY
+// historically rebuilt the table for every transmitted and received
+// segment — two allocations and O(ncbps) work per frame for a permutation
+// that never changes.
+var permCache sync.Map // key uint64: ncbps<<8 | nbpsc -> []int
+
+// CachedPermutation returns the shared interleaver mapping for the given
+// (ncbps, nbpsc) pair, computing it on first use. Callers must treat the
+// slice as read-only.
+func CachedPermutation(ncbps, nbpsc int) []int {
+	key := uint64(ncbps)<<8 | uint64(nbpsc)
+	if p, ok := permCache.Load(key); ok {
+		return p.([]int)
+	}
+	p, _ := permCache.LoadOrStore(key, Permutation(ncbps, nbpsc))
+	return p.([]int)
+}
+
 // Inverse returns the inverse of a permutation.
 func Inverse(perm []int) []int {
 	inv := make([]int, len(perm))
@@ -46,11 +67,18 @@ func Inverse(perm []int) []int {
 // using perm (from Permutation). len(bits) must be a multiple of
 // len(perm); the PHY pads frames to whole OFDM symbols first.
 func InterleaveBits(bits []byte, perm []int) []byte {
+	return InterleaveBitsInto(make([]byte, len(bits)), bits, perm)
+}
+
+// InterleaveBitsInto is InterleaveBits writing into a caller-provided
+// buffer of len(bits) bytes (typically per-worker scratch); it returns
+// out. out must not alias bits.
+func InterleaveBitsInto(out, bits []byte, perm []int) []byte {
 	n := len(perm)
 	if len(bits)%n != 0 {
 		panic("ofdm: frame not padded to whole symbols")
 	}
-	out := make([]byte, len(bits))
+	out = out[:len(bits)]
 	for base := 0; base < len(bits); base += n {
 		for k, v := range perm {
 			out[base+v] = bits[base+k]
@@ -62,11 +90,17 @@ func InterleaveBits(bits []byte, perm []int) []byte {
 // DeinterleaveLLRs inverts the interleaving on per-coded-bit LLRs,
 // restoring decoder order.
 func DeinterleaveLLRs(llrs []float64, perm []int) []float64 {
+	return DeinterleaveLLRsInto(make([]float64, len(llrs)), llrs, perm)
+}
+
+// DeinterleaveLLRsInto is DeinterleaveLLRs writing into a caller-provided
+// buffer of len(llrs) entries; it returns out. out must not alias llrs.
+func DeinterleaveLLRsInto(out, llrs []float64, perm []int) []float64 {
 	n := len(perm)
 	if len(llrs)%n != 0 {
 		panic("ofdm: LLR stream not a whole number of symbols")
 	}
-	out := make([]float64, len(llrs))
+	out = out[:len(llrs)]
 	for base := 0; base < len(llrs); base += n {
 		for k, v := range perm {
 			out[base+k] = llrs[base+v]

@@ -1,0 +1,62 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"softrate/internal/channel"
+	"softrate/internal/rate"
+	"softrate/internal/softphy"
+)
+
+// fig79Frame is the Fig 7/9 probe shape: 240-byte payload at QAM16 1/2
+// over a static 14 dB channel — the frame collectFrames pushes through the
+// chain thousands of times per figure.
+func fig79Frame() (Config, Frame, *rand.Rand) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 240)
+	rng.Read(payload)
+	return cfg, Frame{Header: []byte{9, 9, 9, 9}, Payload: payload, Rate: rate.ByIndex(4)}, rng
+}
+
+func benchChain(b *testing.B, ws *Workspace) {
+	cfg, frame, _ := fig79Frame()
+	link := &Link{Cfg: cfg, Model: channel.NewStaticModel(14, nil), Rng: rand.New(rand.NewSource(2)), WS: ws}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := TransmitWS(ws, cfg, frame)
+		rx := link.Deliver(tx, float64(i)*0.01, nil)
+		if rx.Detected {
+			_ = softphy.FrameBER(rx.Hints)
+		}
+	}
+}
+
+// BenchmarkTxRxFrame measures the allocating transmit→channel→receive
+// chain at the Fig 7/9 frame shape (the pre-workspace entry points).
+func BenchmarkTxRxFrame(b *testing.B) { benchChain(b, nil) }
+
+// BenchmarkTxRxFrameWorkspace is the warm per-worker scratch form the
+// experiment harnesses run; steady state must report 0 allocs/op.
+func BenchmarkTxRxFrameWorkspace(b *testing.B) { benchChain(b, NewWorkspace()) }
+
+// BenchmarkCalibratePoint measures one calibration grid point (one rate,
+// one SNR, the default 10 frames) through the parallel-safe pipeline.
+func BenchmarkCalibratePoint(b *testing.B) {
+	cc := CalibrationConfig{
+		PHY:            DefaultConfig(),
+		Rates:          []rate.Rate{rate.ByIndex(3)},
+		SNRdB:          []float64{9},
+		FramesPerPoint: 10,
+		PayloadBytes:   250,
+		Seed:           1,
+		Workers:        1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Calibrate(cc)
+	}
+}

@@ -3,8 +3,12 @@ package phy
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"softrate/internal/channel"
+	"softrate/internal/ofdm"
 	"softrate/internal/rate"
 	"softrate/internal/softphy"
 )
@@ -45,6 +49,13 @@ type CalibrationConfig struct {
 	PayloadBytes int
 	// Seed makes the calibration reproducible.
 	Seed int64
+	// Workers bounds the decode-stage parallelism; zero or negative means
+	// one worker per CPU, matching the experiment engine. The calibration
+	// is byte-identical at any worker count: payloads and receiver noise
+	// are drawn serially from the master stream (detection is pure, so
+	// each frame's consumption is known up front) and only the pure decode
+	// work fans out.
+	Workers int
 }
 
 // DefaultCalibrationGrid returns the standard grid: -2..30 dB in 1 dB
@@ -57,8 +68,88 @@ func DefaultCalibrationGrid() []float64 {
 	return g
 }
 
+// replayNorms replays a pre-drawn slice of normal variates; it panics if a
+// consumer asks for more than were predicted, which would mean the draw
+// prediction (Transmission.NoiseDraws) diverged from the receive chain.
+type replayNorms struct {
+	v []float64
+	i int
+}
+
+func (r *replayNorms) NormFloat64() float64 {
+	x := r.v[r.i]
+	r.i++
+	return x
+}
+
+// eachWithWorkspace runs fn(ws, i) for every i in [0, n) across a worker
+// pool, each worker owning one Workspace. workers <= 0 means one per CPU.
+// It mirrors the experiment engine's MapWith contract (indexed claims,
+// per-worker scratch, worker-count-independent results) without making the
+// low-level PHY package depend on experiment-harness infrastructure.
+func eachWithWorkspace(workers, n int, fn func(ws *Workspace, i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ws := NewWorkspace()
+		for i := 0; i < n; i++ {
+			fn(ws, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(ws, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// calFrame is one pre-generated calibration frame: everything Receive
+// needs, with its randomness already drawn from the master stream.
+type calFrame struct {
+	tx       *Transmission
+	gains    []complex128
+	ivar     []float64
+	noise    []float64
+	detected bool
+}
+
+// calResult is the per-frame summary the aggregation stage folds in master
+// order.
+type calResult struct {
+	detected  bool
+	errored   bool // undetected or any payload bit error
+	logEstBER float64
+	nBits     int
+}
+
 // Calibrate measures the PHY by Monte Carlo: constant-SNR AWGN channel,
 // real encode/decode chain, hint-based BER estimation.
+//
+// The pipeline is two-stage so the expensive decodes parallelize without
+// perturbing the sequential master PRNG: a serial pass draws each frame's
+// payload and receiver noise (preamble detection is pure, so the exact
+// number of variates a frame consumes is known before decoding it), then
+// the decode stage fans the frames across cc.Workers goroutines, each with
+// its own Workspace, replaying the pre-drawn noise. Results are aggregated
+// in frame order, so the output is byte-identical at any worker count —
+// including to the historical fully-serial implementation.
 func Calibrate(cc CalibrationConfig) *BERModel {
 	if cc.FramesPerPoint <= 0 {
 		cc.FramesPerPoint = 8
@@ -74,32 +165,68 @@ func Calibrate(cc CalibrationConfig) *BERModel {
 	}
 	rng := rand.New(rand.NewSource(cc.Seed))
 	m := &BERModel{SNRdB: append([]float64{}, cc.SNRdB...)}
+	T := cc.PHY.Mode.SymbolTime()
 	for _, r := range cc.Rates {
-		bers := make([]float64, len(cc.SNRdB))
-		lambdas := make([]float64, len(cc.SNRdB))
-		for k, snr := range cc.SNRdB {
-			link := &Link{
-				Cfg:   cc.PHY,
-				Model: channel.NewStaticModel(snr, nil),
-				Rng:   rng,
-			}
-			var hintBERSum float64
-			frameErrs := 0
-			var nBits int
+		// Stage 1 (serial, owns the master rng): generate every frame of
+		// this rate row. One row at a time bounds the noise buffers held
+		// in flight to a few dozen megabytes.
+		frames := make([]calFrame, 0, len(cc.SNRdB)*cc.FramesPerPoint)
+		for _, snr := range cc.SNRdB {
+			model := channel.NewStaticModel(snr, nil)
 			for i := 0; i < cc.FramesPerPoint; i++ {
 				payload := make([]byte, cc.PayloadBytes)
 				rng.Read(payload)
 				tx := Transmit(cc.PHY, Frame{Header: []byte{1, 2, 3, 4}, Payload: payload, Rate: r})
-				rx := link.Deliver(tx, float64(i), nil)
-				nBits = len(tx.InfoBits())
-				if !rx.Detected || rx.BitErrors > 0 {
+				n := tx.NumSymbols()
+				gains := make([]complex128, n)
+				ivar := make([]float64, n)
+				start := float64(i)
+				for j := 0; j < n; j++ {
+					gains[j] = model.Gain(start + float64(j)*T + T/2)
+				}
+				det := PreambleDetects(cc.PHY, gains[:ofdm.PreambleSymbols], ivar[:ofdm.PreambleSymbols])
+				noise := make([]float64, tx.NoiseDraws(det))
+				for j := range noise {
+					noise[j] = rng.NormFloat64()
+				}
+				frames = append(frames, calFrame{tx: tx, gains: gains, ivar: ivar, noise: noise, detected: det})
+			}
+		}
+
+		// Stage 2 (parallel, pure): decode each frame from its replayed
+		// noise stream.
+		results := make([]calResult, len(frames))
+		eachWithWorkspace(cc.Workers, len(frames), func(ws *Workspace, i int) {
+			f := frames[i]
+			rx := ReceiveWS(ws, cc.PHY, f.tx, f.gains, f.ivar, &replayNorms{v: f.noise})
+			res := calResult{
+				detected: rx.Detected,
+				errored:  !rx.Detected || rx.BitErrors > 0,
+				nBits:    len(f.tx.InfoBits()),
+			}
+			if rx.Detected {
+				res.logEstBER = math.Log(math.Max(softphy.FrameBER(rx.Hints), 1e-12))
+			} else {
+				res.logEstBER = math.Log(0.4)
+			}
+			results[i] = res
+		})
+
+		// Stage 3 (serial): fold per-point sums in frame order — the same
+		// floating-point summation the historical loop performed.
+		bers := make([]float64, len(cc.SNRdB))
+		lambdas := make([]float64, len(cc.SNRdB))
+		for k := range cc.SNRdB {
+			var hintBERSum float64
+			frameErrs := 0
+			var nBits int
+			for i := 0; i < cc.FramesPerPoint; i++ {
+				res := results[k*cc.FramesPerPoint+i]
+				nBits = res.nBits
+				if res.errored {
 					frameErrs++
 				}
-				if rx.Detected {
-					hintBERSum += math.Log(math.Max(softphy.FrameBER(rx.Hints), 1e-12))
-				} else {
-					hintBERSum += math.Log(0.4)
-				}
+				hintBERSum += res.logEstBER
 			}
 			bers[k] = math.Exp(hintBERSum / float64(cc.FramesPerPoint))
 			fer := float64(frameErrs) / float64(cc.FramesPerPoint)

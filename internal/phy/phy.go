@@ -80,52 +80,83 @@ type Transmission struct {
 // headerRate returns the rate used for the header: the most robust one.
 func headerRate() rate.Rate { return rate.Lowest() }
 
-// padToSymbols pads info bits with zeros so that, after the 6 tail bits and
-// puncturing at r's code rate, the coded stream fills a whole number of
-// OFDM symbols exactly (the 802.11 padding rule).
-func padToSymbols(info []byte, m ofdm.Mode, r rate.Rate) []byte {
+// appendPaddedBits appends the info bits of frameBytes to dst, zero-padded
+// so that, after the 6 tail bits and puncturing at r's code rate, the
+// coded stream fills a whole number of OFDM symbols exactly (the 802.11
+// padding rule).
+func appendPaddedBits(dst []byte, frameBytes []byte, m ofdm.Mode, r rate.Rate) []byte {
+	dst = bitutil.AppendBytesToBits(dst, frameBytes)
 	ndbps := m.InfoBitsPerSymbol(r)
-	n := len(info) + coding.TailBits
+	n := len(dst) + coding.TailBits
 	nSym := (n + ndbps - 1) / ndbps
-	padded := make([]byte, nSym*ndbps-coding.TailBits)
-	copy(padded, info)
-	return padded
+	for len(dst) < nSym*ndbps-coding.TailBits {
+		dst = append(dst, 0)
+	}
+	return dst
 }
 
-// encodeSegment runs info bits through the full TX pipeline at rate r:
-// convolutional encoding, puncturing, per-symbol interleaving, modulation.
-func encodeSegment(cfg Config, info []byte, r rate.Rate) [][]complex128 {
-	coded := coding.Puncture(coding.Encode(info), r.Code)
+// encodeSegment runs info bits through the full TX pipeline at rate r —
+// convolutional encoding, puncturing, per-symbol interleaving, modulation —
+// reusing the workspace scratch. The modulated tones land in *flat and the
+// returned per-symbol views are carved from it into *syms.
+func (ws *Workspace) encodeSegment(cfg Config, info []byte, r rate.Rate, flat *[]complex128, syms *[][]complex128) [][]complex128 {
+	ws.coded = coding.AppendEncode(ws.coded[:0], info)
+	ws.punct = coding.AppendPuncture(ws.punct[:0], ws.coded, r.Code)
 	ncbps := cfg.Mode.CodedBitsPerSymbol(r.Scheme)
-	perm := ofdm.Permutation(ncbps, r.Scheme.BitsPerSymbol())
-	inter := ofdm.InterleaveBits(coded, perm)
-	nSym := len(inter) / ncbps
-	syms := make([][]complex128, nSym)
-	for j := 0; j < nSym; j++ {
-		syms[j] = modulation.Modulate(r.Scheme, inter[j*ncbps:(j+1)*ncbps])
+	perm := ofdm.CachedPermutation(ncbps, r.Scheme.BitsPerSymbol())
+	if cap(ws.inter) < len(ws.punct) {
+		ws.inter = make([]byte, len(ws.punct))
 	}
-	return syms
+	inter := ofdm.InterleaveBitsInto(ws.inter[:len(ws.punct)], ws.punct, perm)
+	nSym := len(inter) / ncbps
+	*flat = (*flat)[:0]
+	for j := 0; j < nSym; j++ {
+		*flat = modulation.AppendModulate(*flat, r.Scheme, inter[j*ncbps:(j+1)*ncbps])
+	}
+	// Carve the per-symbol views only after the flat plane has finished
+	// growing, so they all point at the final backing array.
+	tones := len(*flat) / nSym
+	out := (*syms)[:0]
+	for j := 0; j < nSym; j++ {
+		out = append(out, (*flat)[j*tones:(j+1)*tones])
+	}
+	*syms = out
+	return out
 }
 
 // Transmit encodes a frame for the air. The header is sent at the lowest
-// rate with a CRC-16; the payload at f.Rate with a CRC-32.
+// rate with a CRC-16; the payload at f.Rate with a CRC-32. This entry
+// point allocates a fresh Transmission per call; the simulation hot path
+// uses TransmitWS.
 func Transmit(cfg Config, f Frame) *Transmission {
+	return TransmitWS(nil, cfg, f)
+}
+
+// TransmitWS is Transmit backed by per-worker scratch: the returned
+// Transmission and everything it references live inside ws and are valid
+// until the next TransmitWS call on it. A nil ws falls back to a fresh
+// throwaway workspace (equivalent to Transmit).
+func TransmitWS(ws *Workspace, cfg Config, f Frame) *Transmission {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	hr := headerRate()
 	hdrCRC := bitutil.CRC16CCITT(f.Header)
-	hdrBytes := append(append([]byte{}, f.Header...), byte(hdrCRC>>8), byte(hdrCRC))
-	hdrInfo := padToSymbols(bitutil.BytesToBits(hdrBytes), cfg.Mode, hr)
+	ws.hdrFrame = append(append(ws.hdrFrame[:0], f.Header...), byte(hdrCRC>>8), byte(hdrCRC))
+	ws.hdrInfo = appendPaddedBits(ws.hdrInfo[:0], ws.hdrFrame, cfg.Mode, hr)
 
-	body := bitutil.AppendCRC32(f.Payload)
-	info := padToSymbols(bitutil.BytesToBits(body), cfg.Mode, f.Rate)
+	ws.bodyFrame = bitutil.AppendCRC32To(ws.bodyFrame[:0], f.Payload)
+	ws.info = appendPaddedBits(ws.info[:0], ws.bodyFrame, cfg.Mode, f.Rate)
 
-	return &Transmission{
+	ws.tx = Transmission{
 		Cfg:         cfg,
 		Frame:       f,
-		hdrInfoBits: hdrInfo,
-		infoBits:    info,
-		hdrSyms:     encodeSegment(cfg, hdrInfo, hr),
-		dataSyms:    encodeSegment(cfg, info, f.Rate),
+		hdrInfoBits: ws.hdrInfo,
+		infoBits:    ws.info,
+		hdrSyms:     ws.encodeSegment(cfg, ws.hdrInfo, hr, &ws.hdrSymFlat, &ws.hdrSyms),
+		dataSyms:    ws.encodeSegment(cfg, ws.info, f.Rate, &ws.dataSymFlat, &ws.dataSyms),
 	}
+	return &ws.tx
 }
 
 // NumSymbols returns the total OFDM symbols on the air, including preamble,
@@ -154,4 +185,21 @@ func (t *Transmission) InfoBits() []byte { return t.infoBits }
 // whole transmission.
 func (t *Transmission) dataSymbolOffset() int {
 	return ofdm.PreambleSymbols + len(t.hdrSyms)
+}
+
+// NoiseDraws returns the number of NormFloat64 variates Receive consumes
+// for this transmission given the preamble-detection outcome (which is
+// itself pure — see PreambleDetects). The calibration pipeline uses this
+// to pre-draw each frame's noise from the sequential master stream and
+// decode frames in parallel with byte-identical results.
+func (t *Transmission) NoiseDraws(detected bool) int {
+	perSym := 2 * t.Cfg.Mode.DataTones
+	draws := ofdm.PreambleSymbols * perSym
+	if t.Frame.Postamble {
+		draws += ofdm.PostambleSymbols * perSym
+	}
+	if detected {
+		draws += (len(t.hdrSyms) + len(t.dataSyms)) * perSym
+	}
+	return draws
 }

@@ -51,6 +51,14 @@ type Reception struct {
 	TrueBER float64
 }
 
+// NormSource supplies standard normal variates for the receiver noise.
+// *rand.Rand implements it; the calibration pipeline substitutes a replay
+// buffer so that pre-drawn noise can be decoded on any worker with
+// byte-identical results.
+type NormSource interface {
+	NormFloat64() float64
+}
+
 // Burst describes an interval of co-channel interference at the receiver:
 // linear power (relative to the unit noise floor) active during
 // [Start, End) seconds, relative to the same clock as the frame start time.
@@ -68,6 +76,10 @@ type Link struct {
 	Model *channel.Model
 	// Rng drives the noise; deliveries consume from it.
 	Rng *rand.Rand
+	// WS optionally holds per-worker scratch; when set, Deliver reuses its
+	// buffers and the returned Reception aliases them (valid until the
+	// next delivery). When nil every delivery allocates, as before.
+	WS *Workspace
 }
 
 // Deliver passes a transmission through the channel starting at time start
@@ -76,14 +88,22 @@ type Link struct {
 func (l *Link) Deliver(tx *Transmission, start float64, bursts []Burst) *Reception {
 	T := l.Cfg.Mode.SymbolTime()
 	n := tx.NumSymbols()
-	gains := make([]complex128, n)
-	ivar := make([]float64, n)
+	var gains []complex128
+	var ivar []float64
+	if l.WS != nil {
+		l.WS.gains = growC(l.WS.gains, n)
+		l.WS.ivar = growF(l.WS.ivar, n)
+		gains, ivar = l.WS.gains, l.WS.ivar
+	} else {
+		gains = make([]complex128, n)
+		ivar = make([]float64, n)
+	}
 	for j := 0; j < n; j++ {
 		t0 := start + float64(j)*T
 		gains[j] = l.Model.Gain(t0 + T/2)
 		ivar[j] = burstPower(bursts, t0, t0+T)
 	}
-	return Receive(l.Cfg, tx, gains, ivar, l.Rng)
+	return ReceiveWS(l.WS, l.Cfg, tx, gains, ivar, l.Rng)
 }
 
 // burstPower sums the interference power active during [t0, t1), weighting
@@ -105,32 +125,47 @@ func burstPower(bursts []Burst, t0, t1 float64) float64 {
 // (genie CSI, standing in for pilot-based estimation) and the thermal
 // noise floor, but — crucially — not the interference power: that is what
 // makes interference manifest as a spike in the SoftPHY-estimated BER.
-func Receive(cfg Config, tx *Transmission, gains []complex128, ivar []float64, rng *rand.Rand) *Reception {
-	rx := &Reception{}
+// This entry point allocates a fresh Reception per call; the simulation
+// hot path uses ReceiveWS.
+func Receive(cfg Config, tx *Transmission, gains []complex128, ivar []float64, ns NormSource) *Reception {
+	return ReceiveWS(nil, cfg, tx, gains, ivar, ns)
+}
+
+// ReceiveWS is Receive backed by per-worker scratch: the returned
+// Reception and the slices it references live inside ws and are valid
+// until the next ReceiveWS call on it. A nil ws falls back to a fresh
+// throwaway workspace (equivalent to Receive).
+func ReceiveWS(ws *Workspace, cfg Config, tx *Transmission, gains []complex128, ivar []float64, ns NormSource) *Reception {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	rx := &ws.rec
+	*rx = Reception{}
 	T := cfg.Mode
 	dataOff := tx.dataSymbolOffset()
 
-	// --- Preamble: detection and SNR estimation. ---
+	// --- Preamble: SNR estimation and detection. ---
 	// The preamble is a known unit-power pattern on every data tone. The
 	// receiver measures received power and infers SNR; detection requires
-	// the measured SINR to clear the sync threshold. Additionally, a
-	// colliding transmission whose power approaches the signal's corrupts
-	// the synchronization correlation (or captures the receiver outright)
-	// — the paper's footnote 1: "if the interferer's signal is much
-	// stronger than the sender's, some PHYs will resynchronize with the
-	// interferer and abort the sender's frame".
-	preSINR, preSNREst := preambleEstimate(cfg, gains[:ofdm.PreambleSymbols], ivar[:ofdm.PreambleSymbols], rng)
+	// the true SINR to clear the sync threshold. Additionally, a colliding
+	// transmission whose power approaches the signal's corrupts the
+	// synchronization correlation (or captures the receiver outright) —
+	// the paper's footnote 1: "if the interferer's signal is much stronger
+	// than the sender's, some PHYs will resynchronize with the interferer
+	// and abort the sender's frame". The noisy power measurement consumes
+	// its variates first; the detection decision itself is pure, which is
+	// what lets the calibration pipeline pre-draw noise streams.
+	preSNREst := preambleSNREst(cfg, gains[:ofdm.PreambleSymbols], ivar[:ofdm.PreambleSymbols], ns)
 	rx.SNREstDB = channel.LinearToDB(preSNREst)
-	rx.Detected = preSINR >= cfg.DetectSINR
-	if sig, inter := meanPower(gains[:ofdm.PreambleSymbols]), meanVar(ivar[:ofdm.PreambleSymbols]); inter > sig/2 {
-		rx.Detected = false
-	}
+	rx.Detected = PreambleDetects(cfg, gains[:ofdm.PreambleSymbols], ivar[:ofdm.PreambleSymbols])
 
 	// --- Postamble detection (independent of preamble). ---
 	if tx.Frame.Postamble {
 		off := tx.NumSymbols() - ofdm.PostambleSymbols
-		postSINR, _ := preambleEstimate(cfg, gains[off:], ivar[off:], rng)
-		rx.PostambleDetected = postSINR >= cfg.DetectSINR
+		// The power measurement consumes the same variates it always has,
+		// even though only the pure SINR decides postamble sync.
+		preambleSNREst(cfg, gains[off:], ivar[off:], ns)
+		rx.PostambleDetected = meanSINR(gains[off:], ivar[off:]) >= cfg.DetectSINR
 	}
 
 	if !rx.Detected {
@@ -139,9 +174,10 @@ func Receive(cfg Config, tx *Transmission, gains []complex128, ivar []float64, r
 
 	// --- Header: lowest rate, CRC-16. ---
 	hr := headerRate()
-	hdrBits, _ := decodeSegment(cfg, tx.hdrSyms, tx.hdrInfoBits, hr,
-		gains[ofdm.PreambleSymbols:dataOff], ivar[ofdm.PreambleSymbols:dataOff], rng)
-	hdrBytes := bitutil.BitsToBytes(hdrBits)
+	hdrBits, _ := ws.decodeSegment(cfg, tx.hdrSyms, tx.hdrInfoBits, hr,
+		gains[ofdm.PreambleSymbols:dataOff], ivar[ofdm.PreambleSymbols:dataOff], ns)
+	ws.hdrBytes = bitutil.AppendBitsToBytes(ws.hdrBytes[:0], hdrBits)
+	hdrBytes := ws.hdrBytes
 	// Strip to the original header + CRC16 length.
 	want := len(tx.Frame.Header) + 2
 	if len(hdrBytes) >= want {
@@ -155,19 +191,20 @@ func Receive(cfg Config, tx *Transmission, gains []complex128, ivar []float64, r
 
 	// --- Payload: frame rate, SoftPHY hints, CRC-32. ---
 	r := tx.Frame.Rate
-	info, llrs := decodeSegment(cfg, tx.dataSyms, tx.infoBits, r,
-		gains[dataOff:dataOff+len(tx.dataSyms)], ivar[dataOff:dataOff+len(tx.dataSyms)], rng)
-	rx.Hints = make([]float64, len(llrs))
+	info, llrs := ws.decodeSegment(cfg, tx.dataSyms, tx.infoBits, r,
+		gains[dataOff:dataOff+len(tx.dataSyms)], ivar[dataOff:dataOff+len(tx.dataSyms)], ns)
+	ws.hints = growF(ws.hints, len(llrs))
+	rx.Hints = ws.hints
 	for i, l := range llrs {
 		rx.Hints[i] = math.Abs(l)
 	}
 	rx.InfoBitsPerSymbol = T.InfoBitsPerSymbol(r)
 	rx.BitErrors = bitutil.CountBitErrors(info, tx.infoBits)
 	rx.TrueBER = float64(rx.BitErrors) / float64(len(tx.infoBits))
-	body := bitutil.BitsToBytes(info)
+	ws.body = bitutil.AppendBitsToBytes(ws.body[:0], info)
 	bodyLen := len(tx.Frame.Payload) + 4
-	if len(body) >= bodyLen {
-		if payload, ok := bitutil.CheckCRC32(body[:bodyLen]); ok {
+	if len(ws.body) >= bodyLen {
+		if payload, ok := bitutil.CheckCRC32(ws.body[:bodyLen]); ok {
 			rx.PayloadOK = true
 			rx.Payload = payload
 		}
@@ -193,43 +230,63 @@ func meanVar(v []float64) float64 {
 	return s / float64(len(v))
 }
 
-// preambleEstimate models reception of the known sync pattern: it returns
-// the true average SINR across the preamble symbols (used for the
-// detection decision) and a noisy preamble-power SNR estimate à la
-// Schmidl-Cox — the estimate includes any interference power present
-// during the preamble and finite-sample measurement noise, but no
-// knowledge of what happens later in the frame.
-func preambleEstimate(cfg Config, gains []complex128, ivar []float64, rng *rand.Rand) (sinr, snrEst float64) {
-	nTones := cfg.Mode.DataTones
-	var sinrSum, powerSum float64
+// meanSINR returns the true average per-symbol SINR over a sync pattern:
+// |h|^2 signal power against the unit noise floor plus interference.
+func meanSINR(gains []complex128, ivar []float64) float64 {
+	var sinrSum float64
 	for j := range gains {
 		h := gains[j]
 		hp := real(h)*real(h) + imag(h)*imag(h)
 		sinrSum += hp / (1 + ivar[j])
+	}
+	return sinrSum / float64(len(gains))
+}
+
+// PreambleDetects reports whether the receiver synchronizes with a frame
+// whose preamble experienced the given per-symbol gains and interference
+// variances. It is pure — the detection decision consumes no randomness —
+// so the calibration pipeline can predict a frame's noise consumption
+// before decoding it.
+func PreambleDetects(cfg Config, gains []complex128, ivar []float64) bool {
+	det := meanSINR(gains, ivar) >= cfg.DetectSINR
+	if sig, inter := meanPower(gains), meanVar(ivar); inter > sig/2 {
+		det = false
+	}
+	return det
+}
+
+// preambleSNREst models the receiver's measurement of the known sync
+// pattern: a noisy preamble-power SNR estimate à la Schmidl-Cox. The
+// estimate includes any interference power present during the preamble and
+// finite-sample measurement noise, but no knowledge of what happens later
+// in the frame. It consumes 2·DataTones variates per preamble symbol.
+func preambleSNREst(cfg Config, gains []complex128, ivar []float64, ns NormSource) float64 {
+	nTones := cfg.Mode.DataTones
+	var powerSum float64
+	for j := range gains {
+		h := gains[j]
 		// Measured per-tone received power: |h*x + n + i|^2 with x unit
 		// power. Sample mean over the tones.
 		sd := math.Sqrt((1 + ivar[j]) / 2)
 		var meas float64
 		for k := 0; k < nTones; k++ {
-			re := real(h) + sd*rng.NormFloat64()
-			im := imag(h) + sd*rng.NormFloat64()
+			re := real(h) + sd*ns.NormFloat64()
+			im := imag(h) + sd*ns.NormFloat64()
 			meas += re*re + im*im
 		}
 		powerSum += meas / float64(nTones)
 	}
-	n := float64(len(gains))
-	sinr = sinrSum / n
 	// Subtract the known unit noise floor; clamp to a small positive SNR.
-	snrEst = powerSum/n - 1
+	snrEst := powerSum/float64(len(gains)) - 1
 	if snrEst < 1e-3 {
 		snrEst = 1e-3
 	}
-	return sinr, snrEst
+	return snrEst
 }
 
 // decodeSegment passes one encoded segment (header or payload) through the
 // channel symbols and the soft receive pipeline, returning decoded info
-// bits and their a-posteriori LLRs.
+// bits and their a-posteriori LLRs (both aliasing the workspace).
 //
 // The receiver estimates the noise variance of each OFDM symbol from the
 // decision-directed error vector magnitude (EVM) of its tones — what a
@@ -239,27 +296,33 @@ func preambleEstimate(cfg Config, gains []complex128, ivar []float64, rng *rand.
 // per-symbol BER estimate spikes (Figure 3). With a fixed assumed noise
 // floor the LLRs would instead stay (wrongly) confident and the collision
 // would be invisible to the hints.
-func decodeSegment(cfg Config, syms [][]complex128, infoRef []byte, r rate.Rate, gains []complex128, ivar []float64, rng *rand.Rand) (info []byte, llrs []float64) {
+func (ws *Workspace) decodeSegment(cfg Config, syms [][]complex128, infoRef []byte, r rate.Rate, gains []complex128, ivar []float64, ns NormSource) (info []byte, llrs []float64) {
 	ncbps := cfg.Mode.CodedBitsPerSymbol(r.Scheme)
-	perm := ofdm.Permutation(ncbps, r.Scheme.BitsPerSymbol())
-	chanLLRs := make([]float64, 0, len(syms)*ncbps)
-	rx := make([]complex128, cfg.Mode.DataTones)
+	perm := ofdm.CachedPermutation(ncbps, r.Scheme.BitsPerSymbol())
+	if cap(ws.chanLLRs) < len(syms)*ncbps {
+		ws.chanLLRs = make([]float64, 0, len(syms)*ncbps)
+	}
+	chanLLRs := ws.chanLLRs[:0]
+	ws.tones = growC(ws.tones, cfg.Mode.DataTones)
+	rx := ws.tones
 	for j, sym := range syms {
 		h := gains[j]
 		// Actual noise variance includes the interference the receiver
 		// does not know about.
 		sd := math.Sqrt((1 + ivar[j]) / 2)
 		for k, x := range sym {
-			rx[k] = h*x + complex(sd*rng.NormFloat64(), sd*rng.NormFloat64())
+			rx[k] = h*x + complex(sd*ns.NormFloat64(), sd*ns.NormFloat64())
 		}
 		noiseEst := estimateNoiseEVM(r.Scheme, rx[:len(sym)], h)
 		for _, y := range rx[:len(sym)] {
 			chanLLRs = modulation.Demap(r.Scheme, y, h, noiseEst, cfg.ExactDemap, chanLLRs)
 		}
 	}
-	deint := ofdm.DeinterleaveLLRs(chanLLRs, perm)
-	depunct := coding.DepunctureLLR(deint, r.Code, coding.CodedLen(len(infoRef)))
-	return coding.DecodeBCJR(depunct, len(infoRef), cfg.Decoder)
+	ws.chanLLRs = chanLLRs
+	ws.deint = growF(ws.deint, len(chanLLRs))
+	deint := ofdm.DeinterleaveLLRsInto(ws.deint, chanLLRs, perm)
+	depunct := ws.Coding.DepunctureLLR(deint, r.Code, coding.CodedLen(len(infoRef)))
+	return ws.Coding.DecodeBCJR(depunct, len(infoRef), cfg.Decoder)
 }
 
 // estimateNoiseEVM measures the decision-directed EVM of one OFDM symbol:
@@ -276,9 +339,7 @@ func estimateNoiseEVM(s modulation.Scheme, rx []complex128, h complex128) float6
 	var sum float64
 	for _, y := range rx {
 		z := y / h
-		bits := modulation.HardDemap(s, z)
-		xhat := modulation.Modulate(s, bits)[0]
-		d := z - xhat
+		d := z - modulation.HardDecision(s, z)
 		sum += real(d)*real(d) + imag(d)*imag(d)
 	}
 	// EVM is measured post-equalization (variance scaled by 1/|h|^2);

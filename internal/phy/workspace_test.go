@@ -1,0 +1,148 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"softrate/internal/channel"
+	"softrate/internal/rate"
+)
+
+// deliverPair runs the same frame sequence through a workspace-backed link
+// and a fresh-allocation link fed by identical PRNG streams, handing both
+// receptions to check after every frame.
+func deliverPair(t *testing.T, frames int, withBursts bool, check func(i int, ws, fresh *Reception)) {
+	t.Helper()
+	cfg := DefaultConfig()
+	mkLink := func(ws *Workspace) (*Link, *rand.Rand) {
+		return &Link{
+			Cfg:   cfg,
+			Model: channel.NewStaticModel(9, channel.NewRayleigh(rand.New(rand.NewSource(5)), 40, 0)),
+			Rng:   rand.New(rand.NewSource(6)),
+			WS:    ws,
+		}, rand.New(rand.NewSource(7))
+	}
+	ws := NewWorkspace()
+	wsLink, wsRng := mkLink(ws)
+	freshLink, freshRng := mkLink(nil)
+	payload := make([]byte, 300)
+	for i := 0; i < frames; i++ {
+		r := rate.ByIndex(i % 6)
+		wsRng.Read(payload)
+		wsTx := TransmitWS(ws, cfg, Frame{Header: []byte{1, 2}, Payload: payload, Rate: r, Postamble: i%3 == 0})
+		var bursts []Burst
+		if withBursts && i%2 == 0 {
+			air := wsTx.Airtime()
+			bursts = []Burst{{Start: float64(i)*0.02 + air*0.3, End: float64(i)*0.02 + air*0.7, Power: 40}}
+		}
+		wsRx := wsLink.Deliver(wsTx, float64(i)*0.02, bursts)
+
+		freshRng.Read(payload)
+		freshTx := Transmit(cfg, Frame{Header: []byte{1, 2}, Payload: payload, Rate: r, Postamble: i%3 == 0})
+		freshRx := freshLink.Deliver(freshTx, float64(i)*0.02, bursts)
+		check(i, wsRx, freshRx)
+	}
+}
+
+// TestWorkspaceChainMatchesFresh pins the tentpole contract at the PHY
+// level: a warm workspace's transmit/deliver/receive chain is bit-for-bit
+// the fresh-allocation chain — verdicts, hints, SNR estimate, ground
+// truth — across rates, postambles and interference bursts.
+func TestWorkspaceChainMatchesFresh(t *testing.T) {
+	deliverPair(t, 40, true, func(i int, ws, fresh *Reception) {
+		if ws.Detected != fresh.Detected || ws.HeaderOK != fresh.HeaderOK ||
+			ws.PayloadOK != fresh.PayloadOK || ws.PostambleDetected != fresh.PostambleDetected {
+			t.Fatalf("frame %d: verdicts differ: ws %+v fresh %+v", i, ws, fresh)
+		}
+		if math.Float64bits(ws.SNREstDB) != math.Float64bits(fresh.SNREstDB) {
+			t.Fatalf("frame %d: SNR estimate differs: %v vs %v", i, ws.SNREstDB, fresh.SNREstDB)
+		}
+		if ws.BitErrors != fresh.BitErrors || math.Float64bits(ws.TrueBER) != math.Float64bits(fresh.TrueBER) {
+			t.Fatalf("frame %d: ground truth differs", i)
+		}
+		if len(ws.Hints) != len(fresh.Hints) {
+			t.Fatalf("frame %d: hint count %d vs %d", i, len(ws.Hints), len(fresh.Hints))
+		}
+		for k := range ws.Hints {
+			if math.Float64bits(ws.Hints[k]) != math.Float64bits(fresh.Hints[k]) {
+				t.Fatalf("frame %d: hint %d differs: %v vs %v", i, k, ws.Hints[k], fresh.Hints[k])
+			}
+		}
+		if string(ws.Header) != string(fresh.Header) || string(ws.Payload) != string(fresh.Payload) {
+			t.Fatalf("frame %d: decoded bytes differ", i)
+		}
+	})
+}
+
+// TestReceiveDoesNotAllocateSteadyState pins the satellite requirement:
+// with a warm workspace, the full deliver (channel sampling + receive +
+// decode) and the transmit encode perform zero heap allocations.
+func TestReceiveDoesNotAllocateSteadyState(t *testing.T) {
+	cfg := DefaultConfig()
+	ws := NewWorkspace()
+	link := &Link{
+		Cfg:   cfg,
+		Model: channel.NewStaticModel(14, nil),
+		Rng:   rand.New(rand.NewSource(2)),
+		WS:    ws,
+	}
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 240)
+	rng.Read(payload)
+	frame := Frame{Header: []byte{9, 9, 9, 9}, Payload: payload, Rate: rate.ByIndex(4)}
+	// Warm every plane across the rate set once.
+	for ri := 0; ri < 6; ri++ {
+		f := frame
+		f.Rate = rate.ByIndex(ri)
+		link.Deliver(TransmitWS(ws, cfg, f), 0, nil)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(10, func() {
+		tx := TransmitWS(ws, cfg, frame)
+		link.Deliver(tx, float64(i)*0.01, nil)
+		i++
+	}); avg != 0 {
+		t.Errorf("warm transmit+deliver: %v allocs per frame, want 0", avg)
+	}
+	tx := TransmitWS(ws, cfg, frame)
+	gains := make([]complex128, tx.NumSymbols())
+	ivar := make([]float64, tx.NumSymbols())
+	for j := range gains {
+		gains[j] = 1
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		ReceiveWS(ws, cfg, tx, gains, ivar, link.Rng)
+	}); avg != 0 {
+		t.Errorf("warm ReceiveWS: %v allocs per frame, want 0", avg)
+	}
+}
+
+// TestCalibrateWorkersByteIdentical checks the calibration pipeline's
+// engine-parity contract on a reduced grid: any worker count produces the
+// exact table the serial master-stream order defines.
+func TestCalibrateWorkersByteIdentical(t *testing.T) {
+	mk := func(workers int) *BERModel {
+		return Calibrate(CalibrationConfig{
+			PHY:            DefaultConfig(),
+			Rates:          []rate.Rate{rate.ByIndex(0), rate.ByIndex(3), rate.ByIndex(5)},
+			SNRdB:          []float64{2, 6, 10, 14},
+			FramesPerPoint: 3,
+			PayloadBytes:   60,
+			Seed:           11,
+			Workers:        workers,
+		})
+	}
+	serial := mk(1)
+	parallel := mk(7)
+	for ri := range serial.BER {
+		for k := range serial.BER[ri] {
+			if math.Float64bits(serial.BER[ri][k]) != math.Float64bits(parallel.BER[ri][k]) {
+				t.Fatalf("BER[%d][%d] differs: w1 %v, w7 %v", ri, k, serial.BER[ri][k], parallel.BER[ri][k])
+			}
+			if math.Float64bits(serial.Lambda[ri][k]) != math.Float64bits(parallel.Lambda[ri][k]) {
+				t.Fatalf("Lambda[%d][%d] differs: w1 %v, w7 %v", ri, k, serial.Lambda[ri][k], parallel.Lambda[ri][k])
+			}
+		}
+	}
+}

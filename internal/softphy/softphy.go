@@ -12,9 +12,32 @@ import "math"
 // that bit k was decoded incorrectly (Equation 3):
 //
 //	p_k = 1 / (1 + exp(s_k))
+//
+// Hints are |LLR| by contract, so s_k >= 0 and p_k ∈ (0, 0.5]. In that
+// domain the direct form is numerically exact: exp(s) >= 1, the addition
+// never cancels, and for large hints exp overflows gracefully to +Inf and
+// p_k to 0 (an Expm1-based rearrangement would buy nothing). Out-of-domain
+// inputs degrade softly rather than trap — a negative hint yields
+// p_k ∈ (0.5, 1) (exact until exp underflows to 0 near s < -745, where p_k
+// saturates at 1), and a NaN propagates — but they indicate a caller bug;
+// ValidHints is the debug assertion test code uses to enforce the
+// contract.
 func BitErrorProb(hint float64) float64 {
-	// For large hints exp overflows gracefully to +Inf and p_k to 0.
 	return 1 / (1 + math.Exp(hint))
+}
+
+// ValidHints reports whether every hint satisfies the SoftPHY contract:
+// non-negative and not NaN (+Inf is a legal "certainly correct" hint).
+// The receiver produces hints via math.Abs, so this holds by construction;
+// tests assert it at package boundaries to catch sign-convention bugs
+// before they silently halve every probability.
+func ValidHints(hints []float64) bool {
+	for _, s := range hints {
+		if math.IsNaN(s) || s < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // HintForProb inverts Equation 3: the hint magnitude corresponding to a
@@ -59,11 +82,18 @@ func BlockBits(infoBitsPerSymbol int) int {
 // symbol (Equation 4). The final group may be shorter because the
 // trellis tail bits carry no hints.
 func SymbolBERs(hints []float64, nbps int) []float64 {
+	n := (len(hints) + nbps - 1) / nbps
+	return AppendSymbolBERs(make([]float64, 0, n), hints, nbps)
+}
+
+// AppendSymbolBERs appends the per-symbol BER series to dst and returns
+// the extended slice, allocating nothing when dst has sufficient capacity.
+// The per-group summation order matches SymbolBERs exactly, so batch
+// consumers see bit-identical estimates.
+func AppendSymbolBERs(dst []float64, hints []float64, nbps int) []float64 {
 	if nbps <= 0 {
 		panic("softphy: nbps must be positive")
 	}
-	n := (len(hints) + nbps - 1) / nbps
-	out := make([]float64, 0, n)
 	for base := 0; base < len(hints); base += nbps {
 		end := base + nbps
 		if end > len(hints) {
@@ -73,7 +103,7 @@ func SymbolBERs(hints []float64, nbps int) []float64 {
 		for _, s := range hints[base:end] {
 			sum += BitErrorProb(s)
 		}
-		out = append(out, sum/float64(end-base))
+		dst = append(dst, sum/float64(end-base))
 	}
-	return out
+	return dst
 }

@@ -52,9 +52,86 @@ func TestFrameBER(t *testing.T) {
 		t.Fatal("empty frame must give 0")
 	}
 	// Two bits: one certain (p~0), one coin-flip (p=0.5) -> 0.25.
-	got := FrameBER([]float64{1000, 0})
+	hints := []float64{1000, 0}
+	// Debug assertion for the hints-are-|LLR| contract Equation 3 relies
+	// on: every stream this suite feeds FrameBER must pass ValidHints.
+	if !ValidHints(hints) {
+		t.Fatal("test hints violate the non-negative contract")
+	}
+	got := FrameBER(hints)
 	if math.Abs(got-0.25) > 1e-12 {
 		t.Fatalf("FrameBER = %v, want 0.25", got)
+	}
+}
+
+// TestBitErrorProbEdgeCases pins the documented behaviour of Equation 3 at
+// the domain boundaries: the zero-information hint, the two infinities,
+// NaN propagation, and the out-of-contract negative range (soft
+// degradation toward p=1, never a trap).
+func TestBitErrorProbEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		hint float64
+		want float64
+	}{
+		{"zero", 0, 0.5},
+		{"+inf", math.Inf(1), 0},
+		{"-inf (out of contract)", math.Inf(-1), 1},
+		{"large negative saturates", -746, 1},
+		{"moderate negative exact", -math.Log(9), 0.9},
+	}
+	for _, c := range cases {
+		if got := BitErrorProb(c.hint); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: BitErrorProb(%v) = %v, want %v", c.name, c.hint, got, c.want)
+		}
+	}
+	if got := BitErrorProb(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("BitErrorProb(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestValidHints pins the contract checker itself.
+func TestValidHints(t *testing.T) {
+	cases := []struct {
+		name  string
+		hints []float64
+		want  bool
+	}{
+		{"empty", nil, true},
+		{"clean", []float64{0, 3.5, 1000}, true},
+		{"+inf is legal certainty", []float64{math.Inf(1)}, true},
+		{"negative", []float64{2, -0.1}, false},
+		{"-inf", []float64{math.Inf(-1)}, false},
+		{"nan", []float64{1, math.NaN()}, false},
+	}
+	for _, c := range cases {
+		if got := ValidHints(c.hints); got != c.want {
+			t.Errorf("%s: ValidHints = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestAppendSymbolBERsMatches checks the alloc-free form against the
+// allocating one bit-for-bit, including reuse of a dirty destination.
+func TestAppendSymbolBERsMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	buf := make([]float64, 0, 64)
+	for trial := 0; trial < 50; trial++ {
+		hints := make([]float64, 1+rng.Intn(100))
+		for i := range hints {
+			hints[i] = rng.Float64() * 12
+		}
+		nbps := 1 + rng.Intn(16)
+		want := SymbolBERs(hints, nbps)
+		buf = AppendSymbolBERs(buf[:0], hints, nbps)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: length %d want %d", trial, len(buf), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: group %d differs: %v vs %v", trial, i, buf[i], want[i])
+			}
+		}
 	}
 }
 
