@@ -42,6 +42,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "sample-size scale (1.0 = paper scale)")
 		seed    = flag.Int64("seed", 1, "PRNG seed")
 		workers = flag.Int("workers", 0, "max concurrent trials (0 = one per CPU)")
+		batch   = flag.Int("decode-batch", 0, "frames decoded per lockstep batch (0 = default 8, negative = per-frame decoding); output is byte-identical at any setting")
 		format  = flag.String("format", "text", "output format: text, json or csv")
 	)
 	flag.Parse()
@@ -71,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, DecodeBatch: *batch}
 	var reports []report
 	total := time.Duration(0)
 	for _, id := range ids {

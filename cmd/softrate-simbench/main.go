@@ -11,7 +11,7 @@
 //
 // CI runs it with floors as a throughput-regression guard:
 //
-//	softrate-simbench -min-fig79-fps 40 -require-zero-allocs
+//	softrate-simbench -min-fig79-fps 80 -min-logmap-fps 220 -min-batch-speedup 2 -require-zero-allocs
 package main
 
 import (
@@ -33,16 +33,18 @@ import (
 )
 
 // prePRBaseline records the last pre-optimization measurement of this
-// suite (PR 4 tree, 1-core Intel Xeon @ 2.10GHz, the host that produced
-// the committed artifact), so the committed BENCH_experiments.json always
-// carries the before/after pair the acceptance floor is defined against.
+// suite (PR 5 tree, 1-core Intel Xeon @ 2.10GHz, the host that produced
+// the previously committed artifact), so the committed
+// BENCH_experiments.json always carries the before/after pair the
+// acceptance floor is defined against. The decode row is the single-frame
+// scalar decoder the lockstep batch engine replaces as the hot path.
 var prePRBaseline = baseline{
 	Host:                   "1-core Intel Xeon @ 2.10GHz",
-	TxRxFig79FramesPerSec:  27.3,
-	TxRxFig79AllocsPerOp:   6310,
-	DecodeBCJRFramesPerSec: 20.0,
-	DecodeBCJRAllocsPerOp:  4,
-	DecodeBCJRBytesPerOp:   2033664,
+	TxRxFig79FramesPerSec:  110.1,
+	TxRxFig79AllocsPerOp:   0,
+	DecodeBCJRFramesPerSec: 72.6,
+	DecodeBCJRAllocsPerOp:  0,
+	DecodeBCJRBytesPerOp:   0,
 }
 
 type baseline struct {
@@ -75,15 +77,21 @@ type harnessResult struct {
 }
 
 type report struct {
-	Schema     string          `json:"schema"`
-	GoVersion  string          `json:"go_version"`
-	NumCPU     int             `json:"num_cpu"`
-	DurationS  float64         `json:"bench_duration_sec"`
-	Benches    []benchResult   `json:"benches"`
-	Harnesses  []harnessResult `json:"harnesses"`
-	Baseline   baseline        `json:"baseline_pre_pr"`
-	SpeedupTx  float64         `json:"txrx_speedup_vs_pre_pr"`
-	SpeedupDec float64         `json:"decode_speedup_vs_pre_pr"`
+	Schema    string          `json:"schema"`
+	GoVersion string          `json:"go_version"`
+	NumCPU    int             `json:"num_cpu"`
+	DurationS float64         `json:"bench_duration_sec"`
+	Benches   []benchResult   `json:"benches"`
+	Harnesses []harnessResult `json:"harnesses"`
+	Baseline  baseline        `json:"baseline_pre_pr"`
+	// SpeedupTx compares the batched Fig 7/9 chain (the production path)
+	// against the pre-PR sequential chain; SpeedupDec compares the batch-8
+	// lockstep log-MAP decode against the pre-PR single-frame decode.
+	SpeedupTx  float64 `json:"txrx_speedup_vs_pre_pr"`
+	SpeedupDec float64 `json:"decode_speedup_vs_pre_pr"`
+	// SpeedupBatch is the in-run ratio of the batched to the sequential
+	// Fig 7/9 chain — host-independent, which is what the CI gate checks.
+	SpeedupBatch float64 `json:"txrx_batch_vs_sequential"`
 }
 
 // measure runs op in a closed loop for roughly d and returns mean ns/op
@@ -122,11 +130,13 @@ func fig79LLRs(nInfo int) []float64 {
 
 func main() {
 	var (
-		duration   = flag.Duration("duration", 2*time.Second, "measurement window per bench")
-		format     = flag.String("format", "text", "output format: text or json")
-		out        = flag.String("out", "", "also write the JSON report to this file")
-		minFPS     = flag.Float64("min-fig79-fps", 0, "fail below this many frames/s on the Fig 7/9 chain (0 = off)")
-		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail if any warm decode/chain bench allocates")
+		duration     = flag.Duration("duration", 2*time.Second, "measurement window per bench")
+		format       = flag.String("format", "text", "output format: text or json")
+		out          = flag.String("out", "", "also write the JSON report to this file")
+		minFPS       = flag.Float64("min-fig79-fps", 0, "fail below this many frames/s on the batched Fig 7/9 chain (0 = off)")
+		minLogmapFPS = flag.Float64("min-logmap-fps", 0, "fail below this many frames/s on the batch-8 log-MAP decode (0 = off)")
+		minBatchSpd  = flag.Float64("min-batch-speedup", 0, "fail if the batched Fig 7/9 chain is not this many times faster than the sequential one (0 = off)")
+		zeroAllocs   = flag.Bool("require-zero-allocs", false, "fail if any warm decode/chain bench allocates")
 	)
 	flag.Parse()
 
@@ -141,30 +151,51 @@ func main() {
 	const nInfo = (240 + 4) * 8 // Fig 7/9 payload shape
 	llrs := fig79LLRs(nInfo)
 	var dec coding.Workspace
+	var bdec coding.BatchWorkspace
 
-	addBench := func(name string, bits int, op func()) benchResult {
+	// addBench measures op, which processes framesPerOp frames per call,
+	// and reports the per-frame rate.
+	addBench := func(name string, framesPerOp, bits int, op func()) benchResult {
 		ns, allocs := measure(*duration, op)
+		perFrame := ns / float64(framesPerOp)
 		r := benchResult{
 			Name:         name,
-			NsPerOp:      ns,
-			FramesPerSec: 1e9 / ns,
+			NsPerOp:      perFrame,
+			FramesPerSec: 1e9 / perFrame,
 			AllocsPerOp:  allocs,
 		}
 		if bits > 0 {
-			r.DecodedMbitPerSec = float64(bits) * (1e9 / ns) / 1e6
+			r.DecodedMbitPerSec = float64(bits) * (1e9 / perFrame) / 1e6
 		}
 		rep.Benches = append(rep.Benches, r)
-		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10.1f frames/s %8.3f Mbit/s %6g allocs/op\n",
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/frame %10.1f frames/s %8.3f Mbit/s %6g allocs/op\n",
 			name, r.NsPerOp, r.FramesPerSec, r.DecodedMbitPerSec, r.AllocsPerOp)
 		return r
 	}
 
-	decodeRes := addBench("decode_bcjr_logmap", nInfo, func() { dec.DecodeBCJR(llrs, nInfo, coding.LogMAP) })
-	addBench("decode_bcjr_maxlog", nInfo, func() { dec.DecodeBCJR(llrs, nInfo, coding.MaxLog) })
-	addBench("decode_viterbi", nInfo, func() { dec.DecodeViterbi(llrs, nInfo) })
+	// batchBench decodes B distinct Fig 7/9-shaped frames per op through
+	// the lockstep batch engine — the decode work the batched receive path
+	// performs per flush.
+	batchBench := func(name string, B int) benchResult {
+		jobs := make([]coding.BatchJob, B)
+		for i := range jobs {
+			jobs[i] = coding.BatchJob{LLRs: fig79LLRs(nInfo), NInfo: nInfo}
+		}
+		return addBench(name, B, nInfo, func() { bdec.DecodeBCJRBatch(jobs, coding.LogMAP) })
+	}
+
+	// decode_bcjr_logmap is the production log-MAP decode path: the batch-8
+	// lockstep engine, reported per frame. The single-frame scalar decoder
+	// it replaced stays measured as decode_bcjr_logmap_single.
+	decodeRes := batchBench("decode_bcjr_logmap", 8)
+	batchBench("decode_bcjr_batch64", 64)
+	addBench("decode_bcjr_logmap_single", 1, nInfo, func() { dec.DecodeBCJR(llrs, nInfo, coding.LogMAP) })
+	addBench("decode_bcjr_maxlog", 1, nInfo, func() { dec.DecodeBCJR(llrs, nInfo, coding.MaxLog) })
+	addBench("decode_viterbi", 1, nInfo, func() { dec.DecodeViterbi(llrs, nInfo) })
 
 	// The Fig 7/9 chain: transmit, deliver over a static 14 dB channel,
-	// summarize hints — the exact per-frame work of collectFrames.
+	// summarize hints — the exact per-frame work of collectFrames, measured
+	// both per-frame (sequential) and through the batched receive path.
 	cfg := phy.DefaultConfig()
 	ws := phy.NewWorkspace()
 	link := &phy.Link{Cfg: cfg, Model: channel.NewStaticModel(14, nil), Rng: rand.New(rand.NewSource(2)), WS: ws}
@@ -173,12 +204,24 @@ func main() {
 	rng.Read(payload)
 	frame := phy.Frame{Header: []byte{9, 9, 9, 9}, Payload: payload, Rate: rate.ByIndex(4)}
 	fi := 0
-	chainRes := addBench("txrx_fig79_chain", nInfo, func() {
+	seqChainRes := addBench("txrx_fig79_chain", 1, nInfo, func() {
 		tx := phy.TransmitWS(ws, cfg, frame)
 		rx := link.Deliver(tx, float64(fi)*0.01, nil)
 		fi++
 		if rx.Detected {
 			_ = softphy.FrameBER(rx.Hints)
+		}
+	})
+	chainRes := addBench("txrx_fig79_chain_batch", 8, nInfo, func() {
+		for k := 0; k < 8; k++ {
+			tx := phy.TransmitWS(ws, cfg, frame)
+			link.QueueDeliver(tx, float64(fi)*0.01, nil)
+			fi++
+		}
+		for _, rx := range link.FlushDeliveries() {
+			if rx.Detected {
+				_ = softphy.FrameBER(rx.Hints)
+			}
 		}
 	})
 
@@ -196,6 +239,7 @@ func main() {
 
 	rep.SpeedupTx = chainRes.FramesPerSec / prePRBaseline.TxRxFig79FramesPerSec
 	rep.SpeedupDec = decodeRes.FramesPerSec / prePRBaseline.DecodeBCJRFramesPerSec
+	rep.SpeedupBatch = chainRes.FramesPerSec / seqChainRes.FramesPerSec
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -218,7 +262,15 @@ func main() {
 
 	failed := false
 	if *minFPS > 0 && chainRes.FramesPerSec < *minFPS {
-		fmt.Fprintf(os.Stderr, "FAIL: fig79 chain %.1f frames/s below floor %.1f\n", chainRes.FramesPerSec, *minFPS)
+		fmt.Fprintf(os.Stderr, "FAIL: batched fig79 chain %.1f frames/s below floor %.1f\n", chainRes.FramesPerSec, *minFPS)
+		failed = true
+	}
+	if *minLogmapFPS > 0 && decodeRes.FramesPerSec < *minLogmapFPS {
+		fmt.Fprintf(os.Stderr, "FAIL: batch-8 log-MAP decode %.1f frames/s below floor %.1f\n", decodeRes.FramesPerSec, *minLogmapFPS)
+		failed = true
+	}
+	if *minBatchSpd > 0 && rep.SpeedupBatch < *minBatchSpd {
+		fmt.Fprintf(os.Stderr, "FAIL: batched fig79 chain only %.2fx the sequential chain, want %.2fx\n", rep.SpeedupBatch, *minBatchSpd)
 		failed = true
 	}
 	if *zeroAllocs {

@@ -1,0 +1,480 @@
+package coding
+
+import "math/bits"
+
+// Lockstep batch decoder. A BatchWorkspace lays B frames' channel LLRs out
+// as structure-of-arrays planes — plane[t*lanes+l] holds frame l's value at
+// trellis position t — and advances all frames one trellis step at a time,
+// so the per-step branch-metric table, the output-table indexing, and the
+// max*/comb combines amortize across the batch and run through the
+// vectorized row primitives of combine.go.
+//
+// The batch path is contractually bit-identical to the single-frame
+// decoders: for every job, DecodeBCJRBatch produces exactly the bytes and
+// float bits of Workspace.DecodeBCJR, and DecodeViterbiBatch exactly those
+// of Workspace.DecodeViterbi (NaN LLR inputs may yield NaN outputs whose
+// payload bits differ; they compare equal as NaNs). The equivalence suite
+// in batch_test.go and FuzzBatchDecodeMatchesSingle pin this. Exact log-MAP
+// remains the default everywhere; the optional Quantized flag enables a
+// float32 max-log fast path that trades exactness for speed and is never
+// used by the experiment harnesses.
+//
+// Jobs are grouped by trellis length (frames with equal step counts run in
+// lockstep; mixed-length batches form one group per length) and each group
+// is capped at maxBatchLanes lanes.
+
+const maxBatchLanes = 64
+
+// appBlockT is how many trellis steps the backward sweep materializes (and
+// the APP block kernel interleaves) at a time.
+const appBlockT = 8
+
+// BatchJob describes one frame's decode within a batch: the rate-1/2
+// channel LLR lattice (after DepunctureLLR for punctured rates; short
+// slices are zero-extended exactly like the single-frame decoders) and the
+// number of information bits to recover.
+type BatchJob struct {
+	LLRs  []float64
+	NInfo int
+}
+
+// BatchResult holds one job's outputs. Both slices alias the workspace and
+// are valid until its next Decode call. LLR is nil for Viterbi decodes.
+type BatchResult struct {
+	Info []byte
+	LLR  []float64
+}
+
+// BatchWorkspace holds the structure-of-arrays planes of the lockstep batch
+// decoder. Like Workspace it is owned by one goroutine at a time, performs
+// zero heap allocations in steady state once warm, and reuse is
+// contractually invisible in its outputs.
+type BatchWorkspace struct {
+	// Quantized enables the float32 max-log fast path for
+	// DecodeBCJRBatch(..., MaxLog). It is an approximate mode: outputs are
+	// NOT bit-identical to the exact decoders and no experiment harness
+	// uses it. LogMAP decodes ignore the flag.
+	Quantized bool
+
+	llrP   []float64 // [2*steps][lanes] transposed channel LLRs
+	alphaP []float64 // [(steps+1)*numStates][lanes] forward plane
+	betaP  []float64 // [(steps+1)*numStates][lanes] backward plane
+	bmP    []float64 // [8][lanes] fwd+bwd per-step branch metric rows
+	bmBlk  []float64 // [appBlockT*4][lanes] APP block branch metric rows
+	numBlk []float64 // [appBlockT][lanes] APP accumulators, input 1
+	denBlk []float64 // [appBlockT][lanes] APP accumulators, input 0
+	appAcc []uint64  // [appBlockT*17] block kernel acc records + fix words
+
+	metricP []float64 // [numStates][lanes] Viterbi path metrics
+	nextP   []float64 // [numStates][lanes]
+	survP   []uint8   // [steps][numStates][lanes] Viterbi traceback
+
+	qMetric []float32 // quantized fast path planes
+	qNext   []float32
+	qAlpha  []float32
+	qBetaA  []float32
+	qBetaB  []float32
+	qBM     []float32
+	qNum    []float32
+	qDen    []float32
+
+	maxP []float64  // [lanes] normalizeLanes per-lane maxima
+	fixF [64]uint64 // forward-leg fixup lane masks from the step kernels
+	fixB [64]uint64 // backward-leg fixup lane masks
+
+	infoFlat []byte
+	llrFlat  []float64
+	results  []BatchResult
+	order    []int
+}
+
+// grow32 is growF for float32 slices.
+func grow32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// prepare sizes the per-job output buffers and sorts job indices by trellis
+// length so equal-length frames run in lockstep. The sort is a stable
+// insertion sort to stay allocation-free (batches are small).
+func (w *BatchWorkspace) prepare(jobs []BatchJob, withLLR bool) {
+	tot := 0
+	for i := range jobs {
+		tot += jobs[i].NInfo
+	}
+	w.infoFlat = growB(w.infoFlat, tot)
+	if withLLR {
+		w.llrFlat = growF(w.llrFlat, tot)
+	}
+	if cap(w.results) < len(jobs) {
+		w.results = make([]BatchResult, len(jobs))
+	}
+	w.results = w.results[:len(jobs)]
+	off := 0
+	for i := range jobs {
+		n := jobs[i].NInfo
+		r := BatchResult{Info: w.infoFlat[off : off+n : off+n]}
+		if withLLR {
+			r.LLR = w.llrFlat[off : off+n : off+n]
+		}
+		w.results[i] = r
+		off += n
+	}
+	if cap(w.order) < len(jobs) {
+		w.order = make([]int, len(jobs))
+	}
+	w.order = w.order[:len(jobs)]
+	for i := range w.order {
+		w.order[i] = i
+	}
+	for i := 1; i < len(w.order); i++ {
+		j := w.order[i]
+		k := i - 1
+		for k >= 0 && jobs[w.order[k]].NInfo > jobs[j].NInfo {
+			w.order[k+1] = w.order[k]
+			k--
+		}
+		w.order[k+1] = j
+	}
+}
+
+// groups invokes fn for each maximal run of equal-length jobs (chunked at
+// maxBatchLanes) in w.order.
+func (w *BatchWorkspace) groups(jobs []BatchJob, fn func(lanes []int)) {
+	for lo := 0; lo < len(w.order); {
+		hi := lo + 1
+		n := jobs[w.order[lo]].NInfo
+		for hi < len(w.order) && jobs[w.order[hi]].NInfo == n {
+			hi++
+		}
+		for ; lo < hi; lo += maxBatchLanes {
+			end := lo + maxBatchLanes
+			if end > hi {
+				end = hi
+			}
+			fn(w.order[lo:end])
+		}
+		lo = hi
+	}
+}
+
+// transposeLLRs fills w.llrP with the group's LLRs in [t][lane] order,
+// zero-extending short inputs exactly like padLLRs.
+func (w *BatchWorkspace) transposeLLRs(jobs []BatchJob, lanes []int, steps int) {
+	L := len(lanes)
+	w.llrP = growF(w.llrP, 2*steps*L)
+	llrP := w.llrP
+	for l, ji := range lanes {
+		src := jobs[ji].LLRs
+		if len(src) > 2*steps {
+			src = src[:2*steps]
+		}
+		for t, v := range src {
+			llrP[t*L+l] = v
+		}
+		for t := len(src); t < 2*steps; t++ {
+			llrP[t*L+l] = 0
+		}
+	}
+}
+
+// stepBM fills the four branch-metric rows for trellis step t with exactly
+// the branchMetrics arithmetic, lane by lane.
+func stepBM(bmP, llrP []float64, t, L int) {
+	r0 := llrP[2*t*L : (2*t+1)*L]
+	r1 := llrP[(2*t+1)*L : (2*t+2)*L]
+	b0 := bmP[0*L : 1*L]
+	b1 := bmP[1*L : 2*L]
+	b2 := bmP[2*L : 3*L]
+	b3 := bmP[3*L : 4*L]
+	for l := 0; l < L; l++ {
+		l0, l1 := r0[l], r1[l]
+		base := -0.5 * (l0 + l1)
+		b0[l] = base
+		b1[l] = base + l1
+		b2[l] = base + l0
+		b3[l] = (base + l0) + l1
+	}
+}
+
+// fillRow sets every element of a metric row to the sentinel except state 0,
+// which anchors the terminated trellis at zero.
+func anchorRow(row []float64, L int) {
+	for i := range row {
+		row[i] = bcjrNegInf
+	}
+	for l := 0; l < L; l++ {
+		row[l] = 0
+	}
+}
+
+func sentinelRow(row []float64) {
+	for i := range row {
+		row[i] = bcjrNegInf
+	}
+}
+
+// normalizeLanes applies the single-frame normalize to each lane of a
+// [numStates][lanes] plane row: subtract the lane's maximum unless the lane
+// is entirely sentinel. Full 4-lane groups run through the vector kernel on
+// AVX2 hardware (bit-identical; normalization is mode-independent
+// arithmetic, so both BCJR modes use it); the ragged tail — and non-AVX2
+// configurations in full — run the scalar passes with the per-lane maxima
+// staged in w.maxP. Per lane the comparison and subtraction order matches
+// the single-frame normalize exactly.
+func (w *BatchWorkspace) normalizeLanes(plane []float64, L int) {
+	lo := 0
+	if hasAVX512Jacobian {
+		if nv := L &^ 7; nv > 0 {
+			normalizeLanesAVX512(&plane[0], nv, L*8)
+			lo = nv
+		}
+	}
+	if hasFastJacobian {
+		if nv := (L - lo) &^ 3; nv > 0 {
+			normalizeLanesAVX2(&plane[lo], nv, L*8)
+			lo += nv
+		}
+	}
+	if lo == L {
+		return
+	}
+	w.maxP = growF(w.maxP, L)
+	maxP := w.maxP
+	copy(maxP[lo:], plane[lo:L])
+	for s := 1; s < numStates; s++ {
+		row := plane[s*L : (s+1)*L : (s+1)*L]
+		for l := lo; l < L; l++ {
+			if x := row[l]; x > maxP[l] {
+				maxP[l] = x
+			}
+		}
+	}
+	for s := 0; s < numStates; s++ {
+		row := plane[s*L : (s+1)*L : (s+1)*L]
+		for l := lo; l < L; l++ {
+			if x := row[l]; x > bcjrNegInf && !(maxP[l] <= bcjrNegInf) {
+				row[l] = x - maxP[l]
+			}
+		}
+	}
+}
+
+// DecodeBCJRBatch decodes every job with the BCJR algorithm in lockstep and
+// returns one result per job, in job order. Outputs are bit-identical to
+// calling Workspace.DecodeBCJR per job. Results alias the workspace and are
+// valid until the next Decode call on it.
+func (w *BatchWorkspace) DecodeBCJRBatch(jobs []BatchJob, mode BCJRMode) []BatchResult {
+	if w.Quantized && mode == MaxLog {
+		return w.decodeBCJRBatchQuantized(jobs)
+	}
+	w.prepare(jobs, true)
+	w.groups(jobs, func(lanes []int) {
+		w.decodeBCJRGroup(jobs, lanes, mode)
+	})
+	return w.results
+}
+
+func (w *BatchWorkspace) decodeBCJRGroup(jobs []BatchJob, lanes []int, mode BCJRMode) {
+	L := len(lanes)
+	nInfo := jobs[lanes[0]].NInfo
+	steps := nInfo + TailBits
+	w.transposeLLRs(jobs, lanes, steps)
+	llrP := w.llrP
+	w.bmP = growF(w.bmP, 8*L)
+	bmF := w.bmP[0*L : 4*L : 4*L]
+	bmB := w.bmP[4*L : 8*L : 8*L]
+
+	rowSz := numStates * L
+	w.alphaP = growF(w.alphaP, (steps+1)*rowSz)
+	w.betaP = growF(w.betaP, (steps+1)*rowSz)
+	alphaP, betaP := w.alphaP, w.betaP
+
+	// Each recursion step runs as one whole-step table walk: the first nv
+	// lanes through the vector kernels (log-MAP on AVX2 hardware), the
+	// ragged tail — and the MaxLog / non-AVX2 configurations in full —
+	// through the scalar walk. Both rebuild every destination row, so no
+	// sentinel initialization pass is needed.
+	nv := 0
+	wide := false
+	if mode == LogMAP {
+		if hasAVX512Jacobian && L >= 8 {
+			nv = L &^ 7
+			wide = true
+		} else if hasFastJacobian {
+			nv = L &^ 3
+		}
+	}
+	stride := L * 8
+
+	// Phase 1: the forward and backward recursions advance together, one
+	// dual-step call per iteration (forward step t, backward step
+	// steps-1-t). Each recursion's per-step work is a serial dependency, but
+	// the two recursions are independent of each other, so pairing them
+	// keeps twice as many Jacobian chains in the reorder window.
+	anchorRow(alphaP[:rowSz], L)
+	anchorRow(betaP[steps*rowSz:(steps+1)*rowSz], L)
+	for t := 0; t < steps; t++ {
+		tb := steps - 1 - t
+		stepBM(bmF, llrP, t, L)
+		stepBM(bmB, llrP, tb, L)
+		aCur := alphaP[t*rowSz : (t+1)*rowSz : (t+1)*rowSz]
+		aNxt := alphaP[(t+1)*rowSz : (t+2)*rowSz : (t+2)*rowSz]
+		bSrc := betaP[(tb+1)*rowSz : (tb+2)*rowSz : (tb+2)*rowSz]
+		bDst := betaP[tb*rowSz : (tb+1)*rowSz : (tb+1)*rowSz]
+		if nv > 0 {
+			var fixed uint64
+			if wide {
+				fixed = stepCombineDualAVX512(&aNxt[0], &aCur[0], &bmF[0], &bDst[0], &bSrc[0], &bmB[0],
+					&fwdStepTable[0], &bwdStepTable[0], &w.fixF[0], &w.fixB[0], nv, stride)
+			} else {
+				fixed = stepCombineDualAVX2(&aNxt[0], &aCur[0], &bmF[0], &bDst[0], &bSrc[0], &bmB[0],
+					&fwdStepTable[0], &bwdStepTable[0], &w.fixF[0], &w.fixB[0], nv, stride)
+			}
+			if fixed != 0 {
+				w.applyStepFixups(&w.fixF, aNxt, aCur, bmF, &fwdStepTable, L, mode)
+				w.applyStepFixups(&w.fixB, bDst, bSrc, bmB, &bwdStepTable, L, mode)
+			}
+		}
+		if nv < L {
+			stepCombineLanes(aNxt, aCur, bmF, &fwdStepTable, nv, L, L, mode)
+			stepCombineLanes(bDst, bSrc, bmB, &bwdStepTable, nv, L, L, mode)
+		}
+		w.normalizeLanes(aNxt, L)
+		w.normalizeLanes(bDst, L)
+	}
+
+	// Phase 2: APP accumulation in blocks of appBlockT trellis steps. Each
+	// step's maxStar fold is serial by construction (the fold order is
+	// observable in the output bits), but the steps are mutually
+	// independent, so the block kernel interleaves them and hides the chain
+	// latency.
+	w.bmBlk = growF(w.bmBlk, appBlockT*4*L)
+	w.numBlk = growF(w.numBlk, appBlockT*L)
+	w.denBlk = growF(w.denBlk, appBlockT*L)
+	recW := 9 // acc record: {den[4], num[4], fix}
+	if wide {
+		recW = 17 // {den[8], num[8], fix}
+	}
+	if cap(w.appAcc) < appBlockT*17 {
+		w.appAcc = make([]uint64, appBlockT*17)
+	}
+	w.appAcc = w.appAcc[:appBlockT*17]
+	numBlk, denBlk := w.numBlk, w.denBlk
+	for t0 := 0; t0 < nInfo; t0 += appBlockT {
+		ka := appBlockT
+		if t0+ka > nInfo {
+			ka = nInfo - t0
+		}
+		for j := 0; j < ka; j++ {
+			stepBM(w.bmBlk[j*4*L:(j+1)*4*L:(j+1)*4*L], llrP, t0+j, L)
+		}
+		if nv > 0 {
+			if wide {
+				stepAPPBlockAVX512(&numBlk[0], &denBlk[0], &alphaP[t0*rowSz], &betaP[(t0+1)*rowSz], &w.bmBlk[0], &appStepTable[0], &w.appAcc[0], nv, stride, ka)
+			} else {
+				stepAPPBlockAVX2(&numBlk[0], &denBlk[0], &alphaP[t0*rowSz], &betaP[(t0+1)*rowSz], &w.bmBlk[0], &appStepTable[0], &w.appAcc[0], nv, stride, ka)
+			}
+		}
+		for j := 0; j < ka; j++ {
+			t := t0 + j
+			at := alphaP[t*rowSz : (t+1)*rowSz : (t+1)*rowSz]
+			bt := betaP[(t+1)*rowSz : (t+2)*rowSz : (t+2)*rowSz]
+			bmj := w.bmBlk[j*4*L : (j+1)*4*L : (j+1)*4*L]
+			if nv > 0 {
+				mask := w.appAcc[j*recW+recW-1]
+				for mask != 0 {
+					l := bits.TrailingZeros64(mask)
+					mask &^= 1 << uint(l)
+					numBlk[j*L+l], denBlk[j*L+l] = appLane(at, bt, bmj, L, l, mode)
+				}
+			}
+			for l := nv; l < L; l++ {
+				numBlk[j*L+l], denBlk[j*L+l] = appLane(at, bt, bmj, L, l, mode)
+			}
+			for l, ji := range lanes {
+				r := &w.results[ji]
+				llr := numBlk[j*L+l] - denBlk[j*L+l]
+				r.LLR[t] = llr
+				if llr >= 0 {
+					r.Info[t] = 1
+				} else {
+					r.Info[t] = 0
+				}
+			}
+		}
+	}
+}
+
+// DecodeViterbiBatch decodes every job with the soft-decision Viterbi
+// decoder in lockstep. Outputs are bit-identical to calling
+// Workspace.DecodeViterbi per job; Result.LLR is nil (Viterbi yields no
+// per-bit confidences). Results alias the workspace and are valid until the
+// next Decode call on it.
+func (w *BatchWorkspace) DecodeViterbiBatch(jobs []BatchJob) []BatchResult {
+	w.prepare(jobs, false)
+	w.groups(jobs, func(lanes []int) {
+		w.decodeViterbiGroup(jobs, lanes)
+	})
+	return w.results
+}
+
+func (w *BatchWorkspace) decodeViterbiGroup(jobs []BatchJob, lanes []int) {
+	L := len(lanes)
+	nInfo := jobs[lanes[0]].NInfo
+	steps := nInfo + TailBits
+	tr := theTrellis
+	w.transposeLLRs(jobs, lanes, steps)
+	llrP := w.llrP
+	w.bmP = growF(w.bmP, 4*L)
+	bmP := w.bmP
+
+	rowSz := numStates * L
+	w.metricP = growF(w.metricP, rowSz)
+	w.nextP = growF(w.nextP, rowSz)
+	w.survP = growB(w.survP, steps*rowSz)
+	metric, next := w.metricP, w.nextP
+	surv := w.survP
+	clear(surv)
+	anchorRow(metric, L)
+	for t := 0; t < steps; t++ {
+		stepBM(bmP, llrP, t, L)
+		row := surv[t*rowSz : (t+1)*rowSz : (t+1)*rowSz]
+		sentinelRow(next)
+		for s := 0; s < numStates; s++ {
+			mrow := metric[s*L : (s+1)*L : (s+1)*L]
+			for u := 0; u < 2; u++ {
+				ns := int(tr.nextState[s][u])
+				o := int(tr.output[s][u])
+				nrow := next[ns*L : (ns+1)*L : (ns+1)*L]
+				brow := bmP[o*L : (o+1)*L : (o+1)*L]
+				srow := row[ns*L : (ns+1)*L : (ns+1)*L]
+				for l := 0; l < L; l++ {
+					m := mrow[l]
+					if m <= bcjrNegInf {
+						continue
+					}
+					if cand := m + brow[l]; cand > nrow[l] {
+						nrow[l] = cand
+						srow[l] = uint8(s)
+					}
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+	w.metricP, w.nextP = metric, next
+	// Per-lane traceback from state 0.
+	for l, ji := range lanes {
+		info := w.results[ji].Info
+		state := uint8(0)
+		for t := steps - 1; t >= 0; t-- {
+			if t < nInfo {
+				info[t] = state >> (Constraint - 2) & 1
+			}
+			state = surv[t*rowSz+int(state)*L+l]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package coding
+
+// Quantized max-log fast path of the lockstep batch decoder: the whole
+// trellis runs in float32 with the pure max combine (no Jacobian
+// correction). This is an approximate mode — hard decisions occasionally
+// differ near ties and the confidences are coarser than the exact decoders'
+// — so it sits behind BatchWorkspace.Quantized and is never used for
+// artifact regeneration. It exists for throughput experiments on the
+// decision pipeline, where hint quantization is acceptable.
+
+const qNegInf = float32(-1e30)
+
+func (w *BatchWorkspace) decodeBCJRBatchQuantized(jobs []BatchJob) []BatchResult {
+	w.prepare(jobs, true)
+	w.groups(jobs, func(lanes []int) {
+		w.decodeBCJRGroupQuantized(jobs, lanes)
+	})
+	return w.results
+}
+
+func sentinelRow32(row []float32) {
+	for i := range row {
+		row[i] = qNegInf
+	}
+}
+
+func anchorRow32(row []float32, L int) {
+	sentinelRow32(row)
+	for l := 0; l < L; l++ {
+		row[l] = 0
+	}
+}
+
+// combineRows32 folds src+bm into dst with the max-log combine, skipping
+// sentinel sources. The plain loop vectorizes well and float32 halves the
+// memory traffic of the exact path.
+func combineRows32(dst, src, bm []float32) {
+	for l := range dst {
+		a := src[l]
+		if a <= qNegInf {
+			continue
+		}
+		m := a + bm[l]
+		if m > dst[l] {
+			dst[l] = m
+		}
+	}
+}
+
+func combineRows32x3(dst, a, bm, b []float32) {
+	for l := range dst {
+		av, bv := a[l], b[l]
+		if av <= qNegInf || bv <= qNegInf {
+			continue
+		}
+		m := (av + bm[l]) + bv
+		if m > dst[l] {
+			dst[l] = m
+		}
+	}
+}
+
+func normalizeLanes32(plane []float32, L int) {
+	for l := 0; l < L; l++ {
+		max := plane[l]
+		for s := 1; s < numStates; s++ {
+			if x := plane[s*L+l]; x > max {
+				max = x
+			}
+		}
+		if max <= qNegInf {
+			continue
+		}
+		for s := 0; s < numStates; s++ {
+			if plane[s*L+l] > qNegInf {
+				plane[s*L+l] -= max
+			}
+		}
+	}
+}
+
+func (w *BatchWorkspace) decodeBCJRGroupQuantized(jobs []BatchJob, lanes []int) {
+	L := len(lanes)
+	nInfo := jobs[lanes[0]].NInfo
+	steps := nInfo + TailBits
+	tr := theTrellis
+
+	// Quantize the channel LLRs straight into the transposed plane.
+	w.qBM = grow32(w.qBM, (2*steps+4)*L)
+	llrP := w.qBM[:2*steps*L]
+	bmP := w.qBM[2*steps*L:]
+	for l, ji := range lanes {
+		src := jobs[ji].LLRs
+		if len(src) > 2*steps {
+			src = src[:2*steps]
+		}
+		for t, v := range src {
+			llrP[t*L+l] = float32(v)
+		}
+		for t := len(src); t < 2*steps; t++ {
+			llrP[t*L+l] = 0
+		}
+	}
+	stepBM := func(t int) {
+		r0 := llrP[2*t*L : (2*t+1)*L]
+		r1 := llrP[(2*t+1)*L : (2*t+2)*L]
+		for l := 0; l < L; l++ {
+			l0, l1 := r0[l], r1[l]
+			base := -0.5 * (l0 + l1)
+			bmP[0*L+l] = base
+			bmP[1*L+l] = base + l1
+			bmP[2*L+l] = base + l0
+			bmP[3*L+l] = (base + l0) + l1
+		}
+	}
+
+	rowSz := numStates * L
+	w.qAlpha = grow32(w.qAlpha, (steps+1)*rowSz)
+	alphaP := w.qAlpha
+	anchorRow32(alphaP[:rowSz], L)
+	for t := 0; t < steps; t++ {
+		stepBM(t)
+		cur := alphaP[t*rowSz : (t+1)*rowSz : (t+1)*rowSz]
+		nxt := alphaP[(t+1)*rowSz : (t+2)*rowSz : (t+2)*rowSz]
+		sentinelRow32(nxt)
+		for s := 0; s < numStates; s++ {
+			src := cur[s*L : (s+1)*L : (s+1)*L]
+			for u := 0; u < 2; u++ {
+				ns := int(tr.nextState[s][u])
+				o := int(tr.output[s][u])
+				combineRows32(nxt[ns*L:(ns+1)*L:(ns+1)*L], src, bmP[o*L:(o+1)*L:(o+1)*L])
+			}
+		}
+		normalizeLanes32(nxt, L)
+	}
+
+	w.qBetaA = grow32(w.qBetaA, rowSz)
+	w.qBetaB = grow32(w.qBetaB, rowSz)
+	w.qNum = grow32(w.qNum, L)
+	w.qDen = grow32(w.qDen, L)
+	nxtB, curB := w.qBetaA, w.qBetaB
+	anchorRow32(nxtB, L)
+	for t := steps - 1; t >= 0; t-- {
+		stepBM(t)
+		if t < nInfo {
+			at := alphaP[t*rowSz : (t+1)*rowSz : (t+1)*rowSz]
+			sentinelRow32(w.qNum)
+			sentinelRow32(w.qDen)
+			for s := 0; s < numStates; s++ {
+				arow := at[s*L : (s+1)*L : (s+1)*L]
+				for u := 0; u < 2; u++ {
+					ns := int(tr.nextState[s][u])
+					o := int(tr.output[s][u])
+					dst := w.qDen
+					if u == 1 {
+						dst = w.qNum
+					}
+					combineRows32x3(dst, arow, bmP[o*L:(o+1)*L:(o+1)*L], nxtB[ns*L:(ns+1)*L:(ns+1)*L])
+				}
+			}
+			for l, ji := range lanes {
+				r := &w.results[ji]
+				llr := w.qNum[l] - w.qDen[l]
+				r.LLR[t] = float64(llr)
+				if llr >= 0 {
+					r.Info[t] = 1
+				} else {
+					r.Info[t] = 0
+				}
+			}
+		}
+		sentinelRow32(curB)
+		for s := 0; s < numStates; s++ {
+			dst := curB[s*L : (s+1)*L : (s+1)*L]
+			for u := 0; u < 2; u++ {
+				ns := int(tr.nextState[s][u])
+				o := int(tr.output[s][u])
+				combineRows32(dst, nxtB[ns*L:(ns+1)*L:(ns+1)*L], bmP[o*L:(o+1)*L:(o+1)*L])
+			}
+		}
+		normalizeLanes32(curB, L)
+		nxtB, curB = curB, nxtB
+	}
+	w.qBetaA, w.qBetaB = nxtB, curB
+}

@@ -1,0 +1,288 @@
+package coding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeBatchJob builds a decodable LLR lattice for a random message at the
+// given puncture rate and noise level, returning the depunctured rate-1/2
+// lattice the decoders consume.
+func makeBatchJob(rng *rand.Rand, nInfoBytes int, rate CodeRate, sigma float64) BatchJob {
+	nInfo := nInfoBytes * 8
+	info := make([]byte, nInfo)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	coded := Encode(info)
+	punct := AppendPuncture(nil, coded, rate)
+	soft := make([]float64, len(punct))
+	for i, b := range punct {
+		x := -1.0
+		if b != 0 {
+			x = 1.0
+		}
+		soft[i] = 2 * (x + sigma*rng.NormFloat64()) / (sigma * sigma)
+	}
+	return BatchJob{LLRs: DepunctureLLR(soft, rate, len(coded)), NInfo: nInfo}
+}
+
+// 12 lands between the vector widths: on AVX-512 hardware a 12-lane group
+// runs 8 lanes through the ZMM kernels, the next 4 through the AVX2
+// normalize, and the rest through the scalar tails.
+func batchSizes() []int { return []int{1, 2, 7, 12, 64} }
+
+// TestDecodeBCJRBatchMatchesSingle is the batch-vs-single equivalence
+// suite: every job in every batch must come out bit-identical to a fresh
+// single-frame decode, across batch sizes, modes, puncture patterns, mixed
+// frame lengths, and dirty-workspace reuse (one BatchWorkspace serves all
+// cases without reset).
+func TestDecodeBCJRBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var bw BatchWorkspace // reused across all subcases: dirty reuse is part of the contract
+	rates := []CodeRate{Rate12, Rate23, Rate34}
+	for _, mode := range []BCJRMode{LogMAP, MaxLog} {
+		for _, B := range batchSizes() {
+			jobs := make([]BatchJob, B)
+			for i := range jobs {
+				// Mixed frame lengths and rates within one batch — except
+				// B=12, which stays uniform-length so the whole batch forms
+				// one 12-lane group (the deterministic 8+4 width split on
+				// AVX-512 hardware).
+				nBytes := []int{4, 7, 31, 40}[rng.Intn(4)]
+				if B == 12 {
+					nBytes = 31
+				}
+				rate := rates[rng.Intn(len(rates))]
+				sigma := []float64{0.2, 0.7, 1.5}[rng.Intn(3)]
+				jobs[i] = makeBatchJob(rng, nBytes, rate, sigma)
+			}
+			got := bw.DecodeBCJRBatch(jobs, mode)
+			if len(got) != B {
+				t.Fatalf("mode=%v B=%d: got %d results", mode, B, len(got))
+			}
+			for i, j := range jobs {
+				var sw Workspace
+				wantInfo, wantLLR := sw.DecodeBCJR(j.LLRs, j.NInfo, mode)
+				if len(got[i].Info) != len(wantInfo) || len(got[i].LLR) != len(wantLLR) {
+					t.Fatalf("mode=%v B=%d job=%d: length mismatch", mode, B, i)
+				}
+				for k := range wantInfo {
+					if got[i].Info[k] != wantInfo[k] {
+						t.Fatalf("mode=%v B=%d job=%d bit %d: info %d != %d", mode, B, i, k, got[i].Info[k], wantInfo[k])
+					}
+					if !sameBits(got[i].LLR[k], wantLLR[k]) {
+						t.Fatalf("mode=%v B=%d job=%d bit %d: llr %x != %x (%v vs %v)",
+							mode, B, i, k, math.Float64bits(got[i].LLR[k]), math.Float64bits(wantLLR[k]), got[i].LLR[k], wantLLR[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeViterbiBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var bw BatchWorkspace
+	rates := []CodeRate{Rate12, Rate23, Rate34}
+	for _, B := range batchSizes() {
+		jobs := make([]BatchJob, B)
+		for i := range jobs {
+			nBytes := []int{4, 7, 31, 40}[rng.Intn(4)]
+			rate := rates[rng.Intn(len(rates))]
+			sigma := []float64{0.2, 0.7, 1.5}[rng.Intn(3)]
+			jobs[i] = makeBatchJob(rng, nBytes, rate, sigma)
+		}
+		got := bw.DecodeViterbiBatch(jobs)
+		for i, j := range jobs {
+			var sw Workspace
+			want := sw.DecodeViterbi(j.LLRs, j.NInfo)
+			if len(got[i].Info) != len(want) {
+				t.Fatalf("B=%d job=%d: length mismatch %d != %d", B, i, len(got[i].Info), len(want))
+			}
+			if got[i].LLR != nil {
+				t.Fatalf("B=%d job=%d: Viterbi result has non-nil LLR", B, i)
+			}
+			for k := range want {
+				if got[i].Info[k] != want[k] {
+					t.Fatalf("B=%d job=%d bit %d: %d != %d", B, i, k, got[i].Info[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeBCJRBatchShortAndEmptyInputs pins the zero-extension contract:
+// short (even empty) LLR slices behave exactly like the single-frame
+// decoders' padLLRs path.
+func TestDecodeBCJRBatchShortAndEmptyInputs(t *testing.T) {
+	var bw BatchWorkspace
+	jobs := []BatchJob{
+		{LLRs: nil, NInfo: 16},
+		{LLRs: []float64{3, -1, 0.5}, NInfo: 16},
+		{LLRs: make([]float64, 2*(16+TailBits)+10), NInfo: 16}, // over-long: extra entries ignored
+	}
+	for i := range jobs[2].LLRs {
+		jobs[2].LLRs[i] = float64(i%5) - 2
+	}
+	for _, mode := range []BCJRMode{LogMAP, MaxLog} {
+		got := bw.DecodeBCJRBatch(jobs, mode)
+		for i, j := range jobs {
+			var sw Workspace
+			wantInfo, wantLLR := sw.DecodeBCJR(j.LLRs, j.NInfo, mode)
+			for k := range wantInfo {
+				if got[i].Info[k] != wantInfo[k] || !sameBits(got[i].LLR[k], wantLLR[k]) {
+					t.Fatalf("mode=%v job=%d bit %d mismatch", mode, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeBatchQuantizedSanity checks the quantized fast path against the
+// exact max-log decoder on clean (noise-free) inputs, where quantization
+// cannot flip any decision.
+func TestDecodeBatchQuantizedSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bw := BatchWorkspace{Quantized: true}
+	nInfo := 24 * 8
+	info := make([]byte, nInfo)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	llrs := HardToLLR(AppendPuncture(nil, Encode(info), Rate12), 8)
+	jobs := []BatchJob{{LLRs: llrs, NInfo: nInfo}, {LLRs: llrs, NInfo: nInfo}}
+	got := bw.DecodeBCJRBatch(jobs, MaxLog)
+	for i := range got {
+		for k, b := range info {
+			if got[i].Info[k] != b {
+				t.Fatalf("quantized job %d bit %d: %d != %d", i, k, got[i].Info[k], b)
+			}
+		}
+	}
+	// The flag must not affect exact log-MAP decodes.
+	exact := bw.DecodeBCJRBatch(jobs, LogMAP)
+	var sw Workspace
+	wantInfo, wantLLR := sw.DecodeBCJR(llrs, nInfo, LogMAP)
+	for k := range wantInfo {
+		if exact[0].Info[k] != wantInfo[k] || !sameBits(exact[0].LLR[k], wantLLR[k]) {
+			t.Fatalf("LogMAP under Quantized flag diverged at bit %d", k)
+		}
+	}
+}
+
+// TestBatchDecodeDoesNotAllocateSteadyState extends the single-frame
+// allocation pin to warm batch workspaces at every batch size.
+func TestBatchDecodeDoesNotAllocateSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, B := range batchSizes() {
+		jobs := make([]BatchJob, B)
+		for i := range jobs {
+			jobs[i] = makeBatchJob(rng, 12, Rate12, 0.7)
+		}
+		var bw BatchWorkspace
+		bw.DecodeBCJRBatch(jobs, LogMAP)
+		bw.DecodeViterbiBatch(jobs)
+		if n := testing.AllocsPerRun(3, func() {
+			bw.DecodeBCJRBatch(jobs, LogMAP)
+		}); n != 0 {
+			t.Errorf("B=%d: DecodeBCJRBatch allocates %v/op when warm", B, n)
+		}
+		if n := testing.AllocsPerRun(3, func() {
+			bw.DecodeViterbiBatch(jobs)
+		}); n != 0 {
+			t.Errorf("B=%d: DecodeViterbiBatch allocates %v/op when warm", B, n)
+		}
+	}
+}
+
+// FuzzBatchDecodeMatchesSingle drives arbitrary LLR lattices — including
+// non-finite values — through a reused BatchWorkspace and requires
+// bit-identical outputs vs fresh single-frame references (NaN payloads
+// compare as NaN).
+func FuzzBatchDecodeMatchesSingle(f *testing.F) {
+	f.Add(uint16(3), uint16(2), int64(1), false)
+	f.Add(uint16(17), uint16(40), int64(9), true)
+	f.Add(uint16(64), uint16(1), int64(77), false)
+	var bw BatchWorkspace // deliberately shared across fuzz iterations
+	f.Fuzz(func(t *testing.T, rawB, rawLen uint16, seed int64, maxlog bool) {
+		B := int(rawB)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		mode := LogMAP
+		if maxlog {
+			mode = MaxLog
+		}
+		jobs := make([]BatchJob, B)
+		for i := range jobs {
+			nInfo := (int(rawLen)+i)%96 + 1
+			nLLR := rng.Intn(2*(nInfo+TailBits) + 8)
+			llrs := make([]float64, nLLR)
+			for k := range llrs {
+				switch rng.Intn(12) {
+				case 0:
+					llrs[k] = math.Inf(1)
+				case 1:
+					llrs[k] = math.Inf(-1)
+				case 2:
+					llrs[k] = math.NaN()
+				case 3:
+					llrs[k] = 0
+				case 4:
+					llrs[k] = rng.NormFloat64() * 1e30
+				default:
+					llrs[k] = rng.NormFloat64() * 20
+				}
+			}
+			jobs[i] = BatchJob{LLRs: llrs, NInfo: nInfo}
+		}
+		got := bw.DecodeBCJRBatch(jobs, mode)
+		for i, j := range jobs {
+			var sw Workspace
+			wantInfo, wantLLR := sw.DecodeBCJR(j.LLRs, j.NInfo, mode)
+			for k := range wantInfo {
+				if got[i].Info[k] != wantInfo[k] {
+					t.Fatalf("BCJR job %d bit %d: info %d != %d", i, k, got[i].Info[k], wantInfo[k])
+				}
+				if !sameBits(got[i].LLR[k], wantLLR[k]) {
+					t.Fatalf("BCJR job %d bit %d: llr bits %x != %x", i, k,
+						math.Float64bits(got[i].LLR[k]), math.Float64bits(wantLLR[k]))
+				}
+			}
+		}
+		gotV := bw.DecodeViterbiBatch(jobs)
+		for i, j := range jobs {
+			var sw Workspace
+			want := sw.DecodeViterbi(j.LLRs, j.NInfo)
+			for k := range want {
+				if gotV[i].Info[k] != want[k] {
+					t.Fatalf("Viterbi job %d bit %d: %d != %d", i, k, gotV[i].Info[k], want[k])
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkDecodeBCJRBatch8(b *testing.B) {
+	benchDecodeBatch(b, 8)
+}
+
+func BenchmarkDecodeBCJRBatch64(b *testing.B) {
+	benchDecodeBatch(b, 64)
+}
+
+func benchDecodeBatch(b *testing.B, B int) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]BatchJob, B)
+	for i := range jobs {
+		jobs[i] = makeBatchJob(rng, 244, Rate12, 0.7)
+	}
+	var bw BatchWorkspace
+	bw.DecodeBCJRBatch(jobs, LogMAP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw.DecodeBCJRBatch(jobs, LogMAP)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*B)/b.Elapsed().Seconds(), "frames/s")
+}

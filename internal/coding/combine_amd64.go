@@ -1,0 +1,127 @@
+//go:build amd64
+
+package coding
+
+// The vectorized log-MAP row combine requires AVX2 (256-bit integer ops)
+// and FMA3. On such hardware math.Exp's amd64 assembly takes its FMA path
+// (math.useFMA is AVX&&FMA), which is the operation sequence the kernels
+// in combine_amd64.s replicate lane-for-lane — packed IEEE-754 ops are
+// bit-identical to their scalar forms, so the vector path produces exactly
+// the floats the scalar decoder produces. Rare inputs whose math.Log1p
+// control flow leaves the replicated fast paths (NaNs, Inf-Inf candidate
+// collisions, arguments within ulps of u==2 inside Log1p) are reported in
+// the returned fixup mask and re-run through the scalar code by the
+// wrappers in combine.go.
+var hasFastJacobian = detectFastJacobian()
+
+// hasAVX512Jacobian additionally requires AVX512 F/DQ/VL (and OS ZMM+opmask
+// state support): the 8-lane step kernels use ZMM vectors, opmask-register
+// compares and merges, and EVEX-encoded YMM integer ops for the ldexp step.
+// The arithmetic is the same lane-wise IEEE sequence as the 4-lane kernels,
+// so the bit-identity contract is unchanged; the wider vectors halve the
+// number of long-latency Jacobian chains per trellis step.
+var hasAVX512Jacobian = hasFastJacobian && detectAVX512Jacobian()
+
+func detectAVX512Jacobian() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	// The OS must save/restore opmask, ZMM-high, and high-ZMM register
+	// state in addition to the XMM/YMM state hasFastJacobian checked.
+	if lo, _ := xgetbv0(); lo&0xE6 != 0xE6 {
+		return false
+	}
+	const (
+		cpuidAVX512F  = 1 << 16
+		cpuidAVX512DQ = 1 << 17
+		cpuidAVX512VL = 1 << 31
+	)
+	_, b7, _, _ := cpuidx(7, 0)
+	return b7&cpuidAVX512F != 0 && b7&cpuidAVX512DQ != 0 && b7&cpuidAVX512VL != 0
+}
+
+func detectFastJacobian() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+		cpuidAVX2    = 1 << 5
+	)
+	_, _, c1, _ := cpuidx(1, 0)
+	if c1&cpuidOSXSAVE == 0 || c1&cpuidAVX == 0 || c1&cpuidFMA == 0 {
+		return false
+	}
+	// The OS must save/restore the XMM and YMM register state.
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidx(7, 0)
+	return b7&cpuidAVX2 != 0
+}
+
+// cpuidx executes CPUID with the given leaf/subleaf.
+func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (OS AVX state support).
+func xgetbv0() (eax, edx uint32)
+
+// combineRows2AVX2 is the vector form of combineRows2's LogMAP loop over
+// n&^3 lanes (n must be a multiple of 4 and at most maxBatchLanes). Lanes
+// whose control flow cannot be replicated in-vector are left untouched and
+// reported in the returned bitmask (bit i = lane i).
+//
+//go:noescape
+func combineRows2AVX2(dst, src, bm *float64, n int) uint64
+
+// combineRows3AVX2 is the vector form of combineRows3's LogMAP loop.
+//
+//go:noescape
+func combineRows3AVX2(dst, a, bm, b *float64, n int) uint64
+
+// stepCombineDualAVX2 runs one forward and one backward trellis recursion
+// step (64 table entries each, see combine_step.go) over n lanes, n a
+// multiple of 4. Rows are stride bytes apart. fixA/fixB[entry] receive the
+// entries' fixup lane masks; fixup lanes are left unstored for
+// applyStepFixups. The return value is the OR of all masks, so callers skip
+// both fixup scans when it is zero.
+//
+//go:noescape
+func stepCombineDualAVX2(dstA, srcA, bmA, dstB, srcB, bmB *float64, tableA, tableB *uint8, fixA, fixB *uint64, n, stride int) uint64
+
+// stepAPPBlockAVX2 runs k consecutive APP accumulation steps in one call,
+// interleaving their serial accumulation chains so the Jacobian latency
+// overlaps across steps (see combine_amd64.s for the pointer and acc record
+// layout). acc[j*9+8] receives step j's fixup lane mask; the caller redoes
+// flagged lanes entirely with appLane.
+//
+//go:noescape
+func stepAPPBlockAVX2(num, den, alpha, beta, bm *float64, table *uint8, acc *uint64, n, stride, k int)
+
+// stepCombineDualAVX512 is the 8-lane form of stepCombineDualAVX2 (n a
+// multiple of 8).
+//
+//go:noescape
+func stepCombineDualAVX512(dstA, srcA, bmA, dstB, srcB, bmB *float64, tableA, tableB *uint8, fixA, fixB *uint64, n, stride int) uint64
+
+// stepAPPBlockAVX512 is the 8-lane form of stepAPPBlockAVX2 (n a multiple
+// of 8); acc holds k records of 17 words {den[8], num[8], fix}.
+//
+//go:noescape
+func stepAPPBlockAVX512(num, den, alpha, beta, bm *float64, table *uint8, acc *uint64, n, stride, k int)
+
+// normalizeLanesAVX512 is the 8-lane form of normalizeLanesAVX2 (n a
+// multiple of 8).
+//
+//go:noescape
+func normalizeLanesAVX512(plane *float64, n, stride int)
+
+// normalizeLanesAVX2 is the vector form of BatchWorkspace.normalizeLanes
+// over n lanes (a multiple of 4), bit-identical to the scalar passes.
+//
+//go:noescape
+func normalizeLanesAVX2(plane *float64, n, stride int)

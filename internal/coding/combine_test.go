@@ -1,0 +1,207 @@
+package coding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sameBits reports bit-identity, with any-NaN == any-NaN: IEEE addition is
+// free to propagate either operand's NaN payload, and the compiler may
+// commute operands differently at different sites, so NaN payload bits are
+// not stable across otherwise identical expressions.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// referenceRows2 is the scalar semantics combineRows2 must match bit-for-bit.
+func referenceRows2(dst, src, bm []float64, mode BCJRMode) {
+	for i := range dst {
+		a := src[i]
+		if a <= bcjrNegInf {
+			continue
+		}
+		m := a + bm[i]
+		x := dst[i]
+		if x <= bcjrNegInf {
+			dst[i] = m
+			continue
+		}
+		if m <= bcjrNegInf {
+			continue
+		}
+		if mode == MaxLog {
+			if !(x > m) {
+				dst[i] = m
+			}
+			continue
+		}
+		dst[i] = maxStar(x, m)
+	}
+}
+
+func referenceRows3(dst, a, bm, b []float64, mode BCJRMode) {
+	for i := range dst {
+		av, bv := a[i], b[i]
+		if av <= bcjrNegInf || bv <= bcjrNegInf {
+			continue
+		}
+		m := (av + bm[i]) + bv
+		x := dst[i]
+		if x <= bcjrNegInf {
+			dst[i] = m
+			continue
+		}
+		if m <= bcjrNegInf {
+			continue
+		}
+		if mode == MaxLog {
+			if !(x > m) {
+				dst[i] = m
+			}
+			continue
+		}
+		dst[i] = maxStar(x, m)
+	}
+}
+
+// adversarialValue draws from a pool of values chosen to hit every branch of
+// the combine: sentinels, ±Inf, NaN, exact ties (d == ±0 so exp(-d) == 1,
+// the Log1p u == 2 fixup), differences straddling the maxStar range cutoff
+// by ulps, and magnitudes spanning the Jacobian's whole input range.
+func adversarialValue(rng *rand.Rand, base float64) float64 {
+	switch rng.Intn(16) {
+	case 0:
+		return bcjrNegInf
+	case 1:
+		return bcjrNegInf * 2
+	case 2:
+		return math.Inf(1)
+	case 3:
+		return math.Inf(-1)
+	case 4:
+		return math.NaN()
+	case 5:
+		return base // exact tie with the other operand
+	case 6:
+		return base + maxStarRange // exactly at the cutoff
+	case 7:
+		return base + math.Nextafter(maxStarRange, 0)
+	case 8:
+		return base + math.Nextafter(maxStarRange, 20)
+	case 9:
+		return base + 5e-324 // subnormal difference
+	case 10:
+		return base + rng.Float64()*1e-15 // u within ulps of 2 inside Log1p
+	case 11:
+		return base - rng.Float64()*1e-15
+	case 12:
+		return 0.0
+	case 13:
+		return math.Copysign(0, -1)
+	default:
+		return base + (rng.Float64()*30 - 15)
+	}
+}
+
+func fillCombineCase(rng *rand.Rand, dst, other []float64) {
+	for i := range dst {
+		base := rng.NormFloat64() * 20
+		dst[i] = adversarialValue(rng, base)
+		other[i] = adversarialValue(rng, base)
+	}
+}
+
+func TestCombineRowsMatchesScalar(t *testing.T) {
+	if !hasFastJacobian {
+		t.Log("no vector Jacobian on this host; exercising scalar path only")
+	}
+	rng := rand.New(rand.NewSource(61))
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 64}
+	for _, mode := range []BCJRMode{LogMAP, MaxLog} {
+		for _, n := range sizes {
+			dst := make([]float64, n)
+			ref := make([]float64, n)
+			src := make([]float64, n)
+			bm := make([]float64, n)
+			b := make([]float64, n)
+			iters := 4000
+			if testing.Short() {
+				iters = 400
+			}
+			for it := 0; it < iters; it++ {
+				fillCombineCase(rng, dst, src)
+				for i := range bm {
+					bm[i] = adversarialValue(rng, rng.NormFloat64()*5)
+					b[i] = adversarialValue(rng, rng.NormFloat64()*5)
+				}
+				copy(ref, dst)
+				referenceRows2(ref, src, bm, mode)
+				got := append([]float64(nil), dst...)
+				combineRows2(got, src, bm, mode)
+				for i := range got {
+					if !sameBits(got[i], ref[i]) {
+						t.Fatalf("rows2 mode=%v n=%d iter=%d lane %d: got %x (%v) want %x (%v); dst=%v src=%v bm=%v",
+							mode, n, it, i, math.Float64bits(got[i]), got[i], math.Float64bits(ref[i]), ref[i], dst[i], src[i], bm[i])
+					}
+				}
+				copy(ref, dst)
+				referenceRows3(ref, src, bm, b, mode)
+				got3 := append([]float64(nil), dst...)
+				combineRows3(got3, src, bm, b, mode)
+				for i := range got3 {
+					if !sameBits(got3[i], ref[i]) {
+						t.Fatalf("rows3 mode=%v n=%d iter=%d lane %d: got %x (%v) want %x (%v); dst=%v a=%v bm=%v b=%v",
+							mode, n, it, i, math.Float64bits(got3[i]), got3[i], math.Float64bits(ref[i]), ref[i], dst[i], src[i], bm[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCombineRowsDenseSweep sweeps the difference d = x-m through a dense
+// grid focused on the Jacobian's sensitive regions so every exponent of
+// exp(-d) and both Log1p normalization branches get exercised.
+func TestCombineRowsDenseSweep(t *testing.T) {
+	var ds []float64
+	for d := -12.0; d <= 12.0; d += 0.00097 {
+		ds = append(ds, d)
+	}
+	// Dense ulp-level scan around the exp(-d) = Sqrt2M1 path split and the
+	// range cutoff.
+	for _, center := range []float64{0, 0.8813735870195429, maxStarRange, -maxStarRange} {
+		d := center
+		for i := 0; i < 64; i++ {
+			ds = append(ds, d)
+			d = math.Nextafter(d, 100)
+		}
+		d = center
+		for i := 0; i < 64; i++ {
+			ds = append(ds, d)
+			d = math.Nextafter(d, -100)
+		}
+	}
+	n := 4
+	for base := 0; base < len(ds); base += n {
+		dst := make([]float64, n)
+		src := make([]float64, n)
+		bm := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d := ds[(base+i)%len(ds)]
+			dst[i] = d // x - m = d with m = 0
+			src[i] = 0
+			bm[i] = 0
+		}
+		ref := append([]float64(nil), dst...)
+		referenceRows2(ref, src, bm, LogMAP)
+		got := append([]float64(nil), dst...)
+		combineRows2(got, src, bm, LogMAP)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("dense sweep d=%v: got %x (%v) want %x (%v)",
+					dst[i], math.Float64bits(got[i]), got[i], math.Float64bits(ref[i]), ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBatchDecodeByteIdentical pins the lockstep batch decoder's
+// end-to-end contract at the harness level: the rendered tables of the
+// PHY-driven experiments must be byte-identical with batching off
+// (historical per-frame deliveries), at the default batch of 8, and at an
+// odd batch size that forces ragged final flushes — each at one worker and
+// at eight. Combined with TestParallelByteIdentical this guarantees the
+// fast path changes nothing but speed.
+func TestBatchDecodeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch determinism tests skipped in -short mode")
+	}
+	for _, id := range []string{"fig7", "fig9", "fig10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			o := tiny()
+			o.Workers = 1
+			o.DecodeBatch = -1
+			ref := render(t, id, o)
+			for _, batch := range []int{0, 5} {
+				for _, workers := range []int{1, 8} {
+					o.DecodeBatch, o.Workers = batch, workers
+					got := render(t, id, o)
+					if !bytes.Equal(ref, got) {
+						t.Errorf("%s: output differs between per-frame decode and DecodeBatch=%d Workers=%d\n--- per-frame ---\n%s\n--- batched ---\n%s",
+							id, batch, workers, ref, got)
+					}
+				}
+			}
+		})
+	}
+}

@@ -48,18 +48,8 @@ func runInterferenceTrial(ws *phy.Workspace, o Options, relPowerDB float64, ri i
 
 	payload := make([]byte, 480)
 	flagged, errored := 0, 0
-	for i := 0; i < frames; i++ {
-		rng.Read(payload)
-		tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{7, 7, 7, 7}, Payload: payload, Rate: rate.ByIndex(ri)})
-		air := tx.Airtime()
-		// Interferer power relative to the unit noise floor.
-		iPow := channel.DBToLinear(senderSNR + relPowerDB)
-		// Random jitter of around one packet-time between transmissions.
-		offset := (rng.Float64()*2 - 1) * air
-		start := float64(i) * 0.02
-		burst := phy.Burst{Start: start + offset, End: start + offset + air, Power: iPow}
-		rx := link.Deliver(tx, start, []phy.Burst{burst})
-
+	batch := o.decodeBatch()
+	classify := func(rx *phy.Reception) {
 		switch {
 		case !rx.Detected:
 			counts[outSilent]++
@@ -75,6 +65,27 @@ func runInterferenceTrial(ws *phy.Workspace, o Options, relPowerDB float64, ri i
 				counts[outNoise]++
 			}
 		}
+	}
+	for i := 0; i < frames; i++ {
+		rng.Read(payload)
+		tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{7, 7, 7, 7}, Payload: payload, Rate: rate.ByIndex(ri)})
+		air := tx.Airtime()
+		// Interferer power relative to the unit noise floor.
+		iPow := channel.DBToLinear(senderSNR + relPowerDB)
+		// Random jitter of around one packet-time between transmissions.
+		offset := (rng.Float64()*2 - 1) * air
+		start := float64(i) * 0.02
+		burst := phy.Burst{Start: start + offset, End: start + offset + air, Power: iPow}
+		if batch > 0 {
+			link.QueueDeliver(tx, start, []phy.Burst{burst})
+			if ws.PendingReceives() == batch || i == frames-1 {
+				for _, rx := range link.FlushDeliveries() {
+					classify(rx)
+				}
+			}
+			continue
+		}
+		classify(link.Deliver(tx, start, []phy.Burst{burst}))
 	}
 	if errored > 0 {
 		accuracy = float64(flagged) / float64(errored)
@@ -141,17 +152,30 @@ func falsePositiveRate(ws *phy.Workspace, o Options) float64 {
 	det := softphy.DefaultDetector()
 	payload := make([]byte, 480)
 	flagged, errored := 0, 0
-	for i := 0; i < o.scaled(160); i++ {
-		rng.Read(payload)
-		tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{7}, Payload: payload, Rate: rate.ByIndex(3)})
-		rx := link.Deliver(tx, float64(i)*0.023, nil)
+	batch := o.decodeBatch()
+	classify := func(rx *phy.Reception) {
 		if !rx.Detected || rx.BitErrors == 0 {
-			continue
+			return
 		}
 		errored++
 		if softphy.Analyze(rx.Hints, softphy.BlockBits(rx.InfoBitsPerSymbol), det).Collision {
 			flagged++
 		}
+	}
+	n := o.scaled(160)
+	for i := 0; i < n; i++ {
+		rng.Read(payload)
+		tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{7}, Payload: payload, Rate: rate.ByIndex(3)})
+		if batch > 0 {
+			link.QueueDeliver(tx, float64(i)*0.023, nil)
+			if ws.PendingReceives() == batch || i == n-1 {
+				for _, rx := range link.FlushDeliveries() {
+					classify(rx)
+				}
+			}
+			continue
+		}
+		classify(link.Deliver(tx, float64(i)*0.023, nil))
 	}
 	if errored == 0 {
 		return 0

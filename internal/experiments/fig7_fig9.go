@@ -32,17 +32,51 @@ type frameSample struct {
 // collectFrames runs the real PHY over a channel model and gathers one
 // sample per delivered frame. ws is the worker's reusable PHY scratch;
 // every frame of the loop transmits, delivers and summarizes through it
-// without allocating.
-func collectFrames(ws *phy.Workspace, cfg phy.Config, model *channel.Model, rates []rate.Rate, frames int, payload int, spacing float64, seed int64) []frameSample {
+// without allocating. batch > 0 queues that many frames and decodes them
+// as one lockstep batch (see phy.Link.QueueDeliver); the samples are
+// bit-identical to the per-frame path in either case.
+func collectFrames(ws *phy.Workspace, cfg phy.Config, model *channel.Model, rates []rate.Rate, frames int, payload int, spacing float64, seed int64, batch int) []frameSample {
 	rng := rand.New(rand.NewSource(seed))
 	link := &phy.Link{Cfg: cfg, Model: model, Rng: rand.New(rand.NewSource(seed + 1)), WS: ws}
 	var out []frameSample
 	pl := make([]byte, payload)
 	t := 0.0
+
+	// The per-frame metadata a sample needs beyond its Reception; queued
+	// deliveries outlive the workspace-aliased Transmission, so it is
+	// captured at queue time.
+	type txMeta struct{ bits, rateIdx int }
+	var metas []txMeta
+	flush := func() {
+		for k, rx := range link.FlushDeliveries() {
+			if !rx.Detected {
+				continue
+			}
+			out = append(out, frameSample{
+				estBER:  softphy.FrameBER(rx.Hints),
+				trueBER: rx.TrueBER,
+				errs:    rx.BitErrors,
+				bits:    metas[k].bits,
+				snrDB:   rx.SNREstDB,
+				rateIdx: metas[k].rateIdx,
+			})
+		}
+		metas = metas[:0]
+	}
+
 	for i := 0; i < frames; i++ {
 		for _, r := range rates {
 			rng.Read(pl)
 			tx := phy.TransmitWS(ws, cfg, phy.Frame{Header: []byte{9, 9, 9, 9}, Payload: pl, Rate: r})
+			if batch > 0 {
+				link.QueueDeliver(tx, t, nil)
+				metas = append(metas, txMeta{bits: len(tx.InfoBits()), rateIdx: r.Index})
+				t += spacing
+				if len(metas) == batch {
+					flush()
+				}
+				continue
+			}
 			rx := link.Deliver(tx, t, nil)
 			t += spacing
 			if !rx.Detected {
@@ -57,6 +91,9 @@ func collectFrames(ws *phy.Workspace, cfg phy.Config, model *channel.Model, rate
 				rateIdx: r.Index,
 			})
 		}
+	}
+	if len(metas) > 0 {
+		flush()
 	}
 	return out
 }
@@ -73,7 +110,7 @@ func runFig7(o Options) []*Table {
 	snrs := snrSweep(1, 21, 20)
 	perPoint := engine.MapWith(o.Workers, len(snrs), phy.NewWorkspace, func(ws *phy.Workspace, i int) []frameSample {
 		model := channel.NewStaticModel(snrs[i], nil)
-		return collectFrames(ws, cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31)
+		return collectFrames(ws, cfg, model, rate.Evaluation(), framesPerPoint, 240, 0.01, o.Seed+int64(i)*31, o.decodeBatch())
 	})
 	var samples []frameSample
 	for _, p := range perPoint {
@@ -190,7 +227,7 @@ func runFig8(o Options) []*Table {
 	}
 	collect := func(ws *phy.Workspace, doppler float64, seed int64) []stats.Bin {
 		model := channel.NewStaticModel(11, channel.NewRayleigh(rand.New(rand.NewSource(seed)), doppler, 0))
-		samples := collectFrames(ws, cfg, model, []rate.Rate{rate.ByIndex(2), rate.ByIndex(3)}, frames, 240, 0.017, seed+5)
+		samples := collectFrames(ws, cfg, model, []rate.Rate{rate.ByIndex(2), rate.ByIndex(3)}, frames, 240, 0.017, seed+5, o.decodeBatch())
 		var xs, ys []float64
 		for _, s := range samples {
 			if s.errs > 0 {
@@ -265,7 +302,7 @@ func runFig9(o Options) []*Table {
 	}
 	collect := func(ws *phy.Workspace, doppler float64, seed int64) []stats.Bin {
 		model := channel.NewStaticModel(13, channel.NewRayleigh(rand.New(rand.NewSource(seed)), doppler, 0))
-		samples := collectFrames(ws, cfg, model, []rate.Rate{rate.ByIndex(4)}, frames, 240, 0.019, seed+5)
+		samples := collectFrames(ws, cfg, model, []rate.Rate{rate.ByIndex(4)}, frames, 240, 0.019, seed+5, o.decodeBatch())
 		var xs, ys []float64
 		for _, s := range samples {
 			xs = append(xs, s.snrDB)

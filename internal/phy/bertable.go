@@ -56,6 +56,12 @@ type CalibrationConfig struct {
 	// each frame's consumption is known up front) and only the pure decode
 	// work fans out.
 	Workers int
+	// DecodeBatch sets how many frames each worker claims and decodes as
+	// one lockstep batch (QueueReceive/FlushReceptions). Zero means the
+	// default of 8; negative disables batching (per-frame ReceiveWS).
+	// Results are bit-identical at every setting — the batch decoder is
+	// exact — so the knob trades nothing but speed.
+	DecodeBatch int
 }
 
 // DefaultCalibrationGrid returns the standard grid: -2..30 dB in 1 dB
@@ -139,6 +145,22 @@ type calResult struct {
 	nBits     int
 }
 
+// calSummarize folds one decoded calibration frame into the per-frame
+// summary the serial aggregation stage consumes.
+func calSummarize(rx *Reception, f calFrame) calResult {
+	res := calResult{
+		detected: rx.Detected,
+		errored:  !rx.Detected || rx.BitErrors > 0,
+		nBits:    len(f.tx.InfoBits()),
+	}
+	if rx.Detected {
+		res.logEstBER = math.Log(math.Max(softphy.FrameBER(rx.Hints), 1e-12))
+	} else {
+		res.logEstBER = math.Log(0.4)
+	}
+	return res
+}
+
 // Calibrate measures the PHY by Monte Carlo: constant-SNR AWGN channel,
 // real encode/decode chain, hint-based BER estimation.
 //
@@ -194,23 +216,38 @@ func Calibrate(cc CalibrationConfig) *BERModel {
 		}
 
 		// Stage 2 (parallel, pure): decode each frame from its replayed
-		// noise stream.
+		// noise stream. With batching on, each worker claims a contiguous
+		// chunk of frames, replays their noise through the queued front end
+		// and decodes the chunk in one lockstep batch — bit-identical to
+		// the per-frame path, since the batch decoder is exact and each
+		// frame consumes only its own pre-drawn variates.
 		results := make([]calResult, len(frames))
-		eachWithWorkspace(cc.Workers, len(frames), func(ws *Workspace, i int) {
-			f := frames[i]
-			rx := ReceiveWS(ws, cc.PHY, f.tx, f.gains, f.ivar, &replayNorms{v: f.noise})
-			res := calResult{
-				detected: rx.Detected,
-				errored:  !rx.Detected || rx.BitErrors > 0,
-				nBits:    len(f.tx.InfoBits()),
-			}
-			if rx.Detected {
-				res.logEstBER = math.Log(math.Max(softphy.FrameBER(rx.Hints), 1e-12))
-			} else {
-				res.logEstBER = math.Log(0.4)
-			}
-			results[i] = res
-		})
+		batch := cc.DecodeBatch
+		if batch == 0 {
+			batch = 8
+		}
+		if batch < 1 {
+			eachWithWorkspace(cc.Workers, len(frames), func(ws *Workspace, i int) {
+				f := frames[i]
+				rx := ReceiveWS(ws, cc.PHY, f.tx, f.gains, f.ivar, &replayNorms{v: f.noise})
+				results[i] = calSummarize(rx, f)
+			})
+		} else {
+			nChunks := (len(frames) + batch - 1) / batch
+			eachWithWorkspace(cc.Workers, nChunks, func(ws *Workspace, c int) {
+				lo, hi := c*batch, (c+1)*batch
+				if hi > len(frames) {
+					hi = len(frames)
+				}
+				for i := lo; i < hi; i++ {
+					f := frames[i]
+					ws.QueueReceive(cc.PHY, f.tx, f.gains, f.ivar, &replayNorms{v: f.noise})
+				}
+				for k, rx := range ws.FlushReceptions() {
+					results[lo+k] = calSummarize(rx, frames[lo+k])
+				}
+			})
+		}
 
 		// Stage 3 (serial): fold per-point sums in frame order — the same
 		// floating-point summation the historical loop performed.

@@ -168,3 +168,38 @@ func TestCalibrateSmall(t *testing.T) {
 		}
 	}
 }
+
+func TestCalibrateBatchedMatchesSequential(t *testing.T) {
+	// The batched decode stage must not change a single output bit: the
+	// same config must produce deeply equal tables with batching off
+	// (historical per-frame path, one worker) and on (any chunk size, any
+	// worker count).
+	if testing.Short() {
+		t.Skip("Monte Carlo calibration is slow")
+	}
+	cc := CalibrationConfig{
+		PHY:            DefaultConfig(),
+		Rates:          []rate.Rate{rate.ByIndex(0), rate.ByIndex(3)},
+		SNRdB:          []float64{2, 6, 10},
+		FramesPerPoint: 5,
+		PayloadBytes:   120,
+		Seed:           11,
+		Workers:        1,
+		DecodeBatch:    -1,
+	}
+	want := Calibrate(cc)
+	for _, batch := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 4} {
+			cc.DecodeBatch, cc.Workers = batch, workers
+			got := Calibrate(cc)
+			for ri := range want.BER {
+				for k := range want.BER[ri] {
+					if math.Float64bits(got.BER[ri][k]) != math.Float64bits(want.BER[ri][k]) ||
+						math.Float64bits(got.Lambda[ri][k]) != math.Float64bits(want.Lambda[ri][k]) {
+						t.Fatalf("batch=%d workers=%d: table diverges at rate %d, point %d", batch, workers, ri, k)
+					}
+				}
+			}
+		}
+	}
+}

@@ -297,6 +297,17 @@ func preambleSNREst(cfg Config, gains []complex128, ivar []float64, ns NormSourc
 // floor the LLRs would instead stay (wrongly) confident and the collision
 // would be invisible to the hints.
 func (ws *Workspace) decodeSegment(cfg Config, syms [][]complex128, infoRef []byte, r rate.Rate, gains []complex128, ivar []float64, ns NormSource) (info []byte, llrs []float64) {
+	depunct := ws.segmentLLRs(cfg, syms, len(infoRef), r, gains, ivar, ns)
+	return ws.Coding.DecodeBCJR(depunct, len(infoRef), cfg.Decoder)
+}
+
+// segmentLLRs is decodeSegment's front end: everything up to (and
+// including) depuncturing, i.e. every stage that consumes noise variates.
+// The returned rate-1/2 LLR lattice aliases the workspace and is valid
+// until the next segmentLLRs call; the batched receive path copies it out
+// and defers the decode itself, which consumes no randomness, to a later
+// whole-batch BCJR pass.
+func (ws *Workspace) segmentLLRs(cfg Config, syms [][]complex128, nInfo int, r rate.Rate, gains []complex128, ivar []float64, ns NormSource) []float64 {
 	ncbps := cfg.Mode.CodedBitsPerSymbol(r.Scheme)
 	perm := ofdm.CachedPermutation(ncbps, r.Scheme.BitsPerSymbol())
 	if cap(ws.chanLLRs) < len(syms)*ncbps {
@@ -321,8 +332,7 @@ func (ws *Workspace) decodeSegment(cfg Config, syms [][]complex128, infoRef []by
 	ws.chanLLRs = chanLLRs
 	ws.deint = growF(ws.deint, len(chanLLRs))
 	deint := ofdm.DeinterleaveLLRsInto(ws.deint, chanLLRs, perm)
-	depunct := ws.Coding.DepunctureLLR(deint, r.Code, coding.CodedLen(len(infoRef)))
-	return ws.Coding.DecodeBCJR(depunct, len(infoRef), cfg.Decoder)
+	return ws.Coding.DepunctureLLR(deint, r.Code, coding.CodedLen(nInfo))
 }
 
 // estimateNoiseEVM measures the decision-directed EVM of one OFDM symbol:

@@ -31,6 +31,9 @@ type Workspace struct {
 	body     []byte
 	rec      Reception
 
+	// Batched receive state (QueueReceive / FlushReceptions, batch.go).
+	bq batchQueue
+
 	// Transmit-side scratch.
 	tx          Transmission
 	hdrFrame    []byte
