@@ -1,0 +1,102 @@
+// Command softrate-benchtrend inspects and gates the committed
+// BENCH_TREND.jsonl performance ledger (see internal/benchtrend). The
+// bench tools append records to it (-trend-out on softrate-loadgen and
+// softrate-simbench); this command is the CI regression gate beside the
+// static throughput floors:
+//
+//	softrate-benchtrend -trend BENCH_TREND.jsonl -tool loadgen \
+//	    -metrics decisions_per_sec -min-ratio 0.5
+//
+// compares the newest loadgen record against the median of earlier
+// records from hosts with the same CPU count, and exits nonzero if any
+// gated metric fell below min-ratio x median. A run with no comparable
+// history passes vacuously (first run on a new host shape seeds the
+// history rather than failing it).
+//
+//	softrate-benchtrend -trend BENCH_TREND.jsonl -list
+//
+// prints the ledger one record per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"softrate/internal/benchtrend"
+)
+
+func main() {
+	var (
+		trend    = flag.String("trend", "BENCH_TREND.jsonl", "trend ledger to read")
+		tool     = flag.String("tool", "", "gate this tool's newest record (loadgen | simbench)")
+		metrics  = flag.String("metrics", "", "comma list of metric keys to gate (empty = every key in the newest record; gated keys must be higher-is-better)")
+		minRatio = flag.Float64("min-ratio", 0.5, "fail when current < min-ratio x NumCPU-matched historical median")
+		list     = flag.Bool("list", false, "print every record and exit")
+	)
+	flag.Parse()
+
+	recs, err := benchtrend.Load(*trend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, r := range recs {
+			fmt.Printf("%s %-8s %s go=%s cpus=%d", time.Unix(r.UnixSec, 0).UTC().Format("2006-01-02T15:04:05Z"),
+				r.Tool, r.GitSHA, r.GoVersion, r.NumCPU)
+			for _, k := range sortedKeys(r.Metrics) {
+				fmt.Printf(" %s=%.6g", k, r.Metrics[k])
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	if *tool == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: need -tool (or -list)")
+		os.Exit(2)
+	}
+	var keys []string
+	if *metrics != "" {
+		for _, k := range strings.Split(*metrics, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				keys = append(keys, k)
+			}
+		}
+	}
+	results, err := benchtrend.Gate(recs, *tool, keys, *minRatio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, r := range results {
+		if r.Samples == 0 {
+			fmt.Printf("PASS %-32s %.6g (no comparable history; seeding)\n", r.Metric, r.Current)
+			continue
+		}
+		verdict := "PASS"
+		if !r.Pass {
+			verdict, failed = "FAIL", true
+		}
+		fmt.Printf("%s %-32s %.6g vs median %.6g over %d runs (ratio %.2f, floor %.2f)\n",
+			verdict, r.Metric, r.Current, r.Median, r.Samples, r.Ratio, *minRatio)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

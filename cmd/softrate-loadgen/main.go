@@ -41,12 +41,14 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"softrate/internal/benchtrend"
 	"softrate/internal/channel"
 	"softrate/internal/core"
 	"softrate/internal/ctl"
@@ -73,6 +75,7 @@ type options struct {
 	minRate  float64
 	format   string
 	benchOut string
+	trendOut string
 	pipeline int
 	prewarm  bool
 	workers  int
@@ -96,6 +99,7 @@ func main() {
 	flag.Float64Var(&opt.minRate, "min-rate", 0, "fail unless this many decisions/sec are sustained (summed over algorithms)")
 	flag.StringVar(&opt.format, "format", "text", "report format: text | json")
 	flag.StringVar(&opt.benchOut, "bench-out", "", "also write the JSON report to this file (e.g. BENCH_loadgen.json)")
+	flag.StringVar(&opt.trendOut, "trend-out", "", "append a stamped throughput record (git sha, go version, cpus) to this JSONL trend ledger (e.g. BENCH_TREND.jsonl); gate it with softrate-benchtrend")
 	flag.IntVar(&opt.pipeline, "pipeline", 0, "batches in flight per TCP connection (v3 framing; <=1 = classic stop-and-wait; needs -addr or -tcp)")
 	flag.BoolVar(&opt.prewarm, "prewarm", false, "touch every link once before the timed region (pre-grown maps/slabs; measures steady state)")
 	flag.IntVar(&opt.workers, "workers", 0, "in-process/loopback store: fan each batch's shard visits across this many goroutines (<=1 = sequential)")
@@ -258,6 +262,11 @@ type algoReport struct {
 
 // benchReport is the -format json / -bench-out artifact.
 type benchReport struct {
+	// GitSHA, GoVersion and NumCPU stamp the environment that produced
+	// the numbers, so a committed artifact is comparable across hosts.
+	GitSHA          string       `json:"git_sha"`
+	GoVersion       string       `json:"go_version"`
+	NumCPU          int          `json:"num_cpu"`
 	Transport       string       `json:"transport"`
 	Mix             string       `json:"mix"`
 	LinksPerAlgo    int          `json:"links_per_algo"`
@@ -417,6 +426,9 @@ func run(opt options) error {
 	// grouped by algorithm, so latency histograms attribute cleanly).
 	var total uint64
 	report := benchReport{
+		GitSHA:         benchtrend.GitSHA(),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
 		Transport:      transport,
 		Mix:            opt.mix,
 		LinksPerAlgo:   opt.links,
@@ -474,6 +486,18 @@ func run(opt options) error {
 			return err
 		}
 		if err := os.WriteFile(opt.benchOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if opt.trendOut != "" {
+		// Trend records carry only higher-is-better throughput figures:
+		// the ledger's gate (softrate-benchtrend) compares against the
+		// historical median with a minimum ratio.
+		metrics := map[string]float64{"decisions_per_sec": report.DecisionsPerSec}
+		for _, ar := range report.Algos {
+			metrics["decisions_per_sec."+ar.Algo] = ar.DecisionsPerSec
+		}
+		if err := benchtrend.Append(opt.trendOut, benchtrend.Stamp("loadgen", metrics)); err != nil {
 			return err
 		}
 	}

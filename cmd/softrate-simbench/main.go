@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"softrate/internal/benchtrend"
 	"softrate/internal/channel"
 	"softrate/internal/coding"
 	"softrate/internal/experiments"
@@ -133,6 +134,7 @@ func main() {
 		duration     = flag.Duration("duration", 2*time.Second, "measurement window per bench")
 		format       = flag.String("format", "text", "output format: text or json")
 		out          = flag.String("out", "", "also write the JSON report to this file")
+		trendOut     = flag.String("trend-out", "", "append a stamped throughput record (git sha, go version, cpus) to this JSONL trend ledger (e.g. BENCH_TREND.jsonl); gate it with softrate-benchtrend")
 		minFPS       = flag.Float64("min-fig79-fps", 0, "fail below this many frames/s on the batched Fig 7/9 chain (0 = off)")
 		minLogmapFPS = flag.Float64("min-logmap-fps", 0, "fail below this many frames/s on the batch-8 log-MAP decode (0 = off)")
 		minBatchSpd  = flag.Float64("min-batch-speedup", 0, "fail if the batched Fig 7/9 chain is not this many times faster than the sequential one (0 = off)")
@@ -255,6 +257,18 @@ func main() {
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *trendOut != "" {
+		// Only higher-is-better rates go in the ledger: the gate compares
+		// against the historical median with a minimum ratio.
+		metrics := map[string]float64{"txrx_batch_vs_sequential": rep.SpeedupBatch}
+		for _, b := range rep.Benches {
+			metrics[b.Name+".frames_per_sec"] = b.FramesPerSec
+		}
+		if err := benchtrend.Append(*trendOut, benchtrend.Stamp("simbench", metrics)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

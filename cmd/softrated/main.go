@@ -11,15 +11,28 @@
 //	softrated -addr :7447 -expected-links 2000000   # pre-size for the fleet
 //	softrated -addr :7447 -batch-workers 8          # parallel ApplyBatch
 //	softrated -addr :7447 -stats 5s                 # periodic stats to stderr
+//	softrated -addr :7447 -admin 127.0.0.1:7448     # ops plane (see below)
+//
+// -admin serves the ops plane on a second listener: /statusz (full JSON
+// snapshot), /metrics (the same snapshot as a Prometheus exposition),
+// /healthz (200 until draining), /debug/pprof/* and /drainz. POST or GET
+// /drainz starts a graceful drain: listeners stop accepting, every
+// in-flight pipelined request is answered and flushed, idle connections
+// are released, and the process exits cleanly after a final stats dump.
+// SIGINT/SIGTERM take the identical drain path (-drain-grace bounds how
+// long stragglers may hold it open).
 //
 // Drive it with cmd/softrate-loadgen (use its -pipeline flag for the v3
 // framing).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +41,7 @@ import (
 
 	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
+	"softrate/internal/obs"
 	"softrate/internal/server"
 )
 
@@ -41,6 +55,8 @@ func main() {
 		statsEvery  = flag.Duration("stats", 0, "print service stats to stderr at this interval (0 = only at exit)")
 		expected    = flag.Int("expected-links", 0, "pre-size shard maps and state slabs for this many links (0 = grow on demand)")
 		workers     = flag.Int("batch-workers", 0, "fan each batch's shard visits across this many goroutines (<=1 = sequential; decisions are byte-identical either way)")
+		adminAddr   = flag.String("admin", "", "serve the HTTP ops plane on this address (/statusz /metrics /healthz /drainz /debug/pprof); empty = off")
+		drainGrace  = flag.Duration("drain-grace", 5*time.Second, "graceful-drain deadline: how long /drainz or SIGINT/SIGTERM waits for in-flight connections before force-closing")
 	)
 	flag.Parse()
 
@@ -66,6 +82,25 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "softrated: listening on %s (%d shards, ttl %v, default algo %s)\n", l.Addr(), *shards, *ttl, spec.Name)
 
+	if *adminAddr != "" {
+		admin := &obs.Admin{
+			Status:  func() any { return srv.Status() },
+			Metrics: func(w io.Writer) { srv.WritePrometheus(w) },
+			Drain:   func() { srv.Drain(*drainGrace) },
+		}
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "softrated: admin on http://%s\n", al.Addr())
+		go func() {
+			if err := (&http.Server{Handler: admin.Mux()}).Serve(al); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "softrated: admin:", err)
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
@@ -84,19 +119,39 @@ func main() {
 		case <-tick:
 			printStats(srv.Stats())
 		case <-sig:
-			fmt.Fprintln(os.Stderr, "softrated: shutting down")
-			srv.Close()
+			// Same path as /drainz: answer everything already accepted,
+			// then come down clean. A second signal during the grace
+			// window is not special-cased — Drain force-closes stragglers
+			// at the deadline anyway.
+			fmt.Fprintf(os.Stderr, "softrated: draining (grace %v)\n", *drainGrace)
+			srv.Drain(*drainGrace)
 			<-done
-			printStats(srv.Stats())
+			finalSnapshot(srv)
 			return
 		case err := <-done:
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			// Serve returns nil when a drain (via /drainz) closed the
+			// listener; dump the same final snapshot as the signal path.
+			finalSnapshot(srv)
 			return
 		}
 	}
+}
+
+// finalSnapshot logs the one-line counters plus the full ops-plane
+// snapshot as JSON, so a drained process leaves its complete final state
+// in the log.
+func finalSnapshot(srv *server.Server) {
+	printStats(srv.Stats())
+	blob, err := json.Marshal(srv.Status())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softrated: final snapshot:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "softrated: final status %s\n", blob)
 }
 
 func printStats(st server.Stats) {

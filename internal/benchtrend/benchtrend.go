@@ -1,0 +1,206 @@
+// Package benchtrend is the continuous performance-trend ledger behind
+// BENCH_TREND.jsonl: an append-only JSON-lines file of benchmark run
+// records, committed to the repo so throughput history rides along with
+// the code that produced it.
+//
+// The one-off bench artifacts (BENCH_loadgen.json, BENCH_experiments.json)
+// answer "how fast is this tree"; the trend file answers "how fast has it
+// been" — each record stamps the git commit, Go version and host CPU
+// count, so a regression gate can compare a fresh run against the median
+// of comparable history instead of a hand-maintained floor that goes
+// stale the moment the fleet changes.
+//
+// Records are deliberately flat: one map of named float64 metrics, all
+// higher-is-better on the gated keys (throughput figures). Latency-style
+// numbers may be recorded for inspection but should not be gated through
+// Gate, whose pass condition is current >= minRatio * median.
+package benchtrend
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema identifies the record layout; bump on incompatible change.
+const Schema = "softrate-benchtrend/v1"
+
+// Record is one benchmark run appended to the trend file.
+type Record struct {
+	Schema string `json:"schema"`
+	// Tool names the producer ("loadgen", "simbench").
+	Tool string `json:"tool"`
+	// UnixSec is the run's wall-clock stamp.
+	UnixSec int64 `json:"unix_sec"`
+	// GitSHA is the short commit the tree was built from ("unknown" when
+	// no git metadata is reachable).
+	GitSHA string `json:"git_sha"`
+	// GoVersion and NumCPU describe the toolchain and host; Gate only
+	// compares records with matching NumCPU so a laptop run never gates a
+	// CI runner (or vice versa).
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Metrics are the run's named measurements.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// GitSHA returns the short commit hash of the working tree, preferring
+// git itself and falling back to CI's GITHUB_SHA, then "unknown". Never
+// fails: trend records from an exported tarball still append.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	return "unknown"
+}
+
+// Stamp builds a Record for tool with the current environment (time,
+// commit, Go version, CPU count) around the given metrics.
+func Stamp(tool string, metrics map[string]float64) Record {
+	return Record{
+		Schema:    Schema,
+		Tool:      tool,
+		UnixSec:   time.Now().Unix(),
+		GitSHA:    GitSHA(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Metrics:   metrics,
+	}
+}
+
+// Append writes rec as one JSON line at the end of path, creating the
+// file if needed.
+func Append(path string, rec Record) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads every record from a trend file, in file order. Blank lines
+// are skipped; a malformed line is an error (the file is committed, so
+// corruption should fail loudly, not silently shrink history).
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// CompareResult is one gated metric's verdict.
+type CompareResult struct {
+	Metric  string
+	Current float64
+	// Median is the NumCPU-matched historical median; Samples how many
+	// history records contributed. Samples == 0 means no comparable
+	// history existed and the metric passed vacuously.
+	Median  float64
+	Samples int
+	// Ratio is Current/Median (0 when Samples == 0).
+	Ratio float64
+	Pass  bool
+}
+
+// Gate compares the newest record for tool in recs against the median of
+// the earlier records with the same tool and the same NumCPU. A metric
+// passes when current >= minRatio*median, or when no comparable history
+// holds that metric. metrics selects the gated keys; empty gates every
+// key in the newest record (sorted for stable output). The error is
+// non-nil only when recs holds no record for tool at all.
+func Gate(recs []Record, tool string, metrics []string, minRatio float64) ([]CompareResult, error) {
+	latest := -1
+	for i := range recs {
+		if recs[i].Tool == tool {
+			latest = i
+		}
+	}
+	if latest < 0 {
+		return nil, fmt.Errorf("no %q records in trend history", tool)
+	}
+	cur := recs[latest]
+	if len(metrics) == 0 {
+		for k := range cur.Metrics {
+			metrics = append(metrics, k)
+		}
+		sort.Strings(metrics)
+	}
+	out := make([]CompareResult, 0, len(metrics))
+	for _, m := range metrics {
+		res := CompareResult{Metric: m, Current: cur.Metrics[m], Pass: true}
+		var hist []float64
+		for i := 0; i < latest; i++ {
+			r := &recs[i]
+			if r.Tool != tool || r.NumCPU != cur.NumCPU {
+				continue
+			}
+			if v, ok := r.Metrics[m]; ok {
+				hist = append(hist, v)
+			}
+		}
+		if res.Samples = len(hist); res.Samples > 0 {
+			res.Median = median(hist)
+			if res.Median > 0 {
+				res.Ratio = res.Current / res.Median
+				res.Pass = res.Ratio >= minRatio
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// median returns the middle value (mean of the middle pair for even
+// lengths). Mutates its argument's order.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}

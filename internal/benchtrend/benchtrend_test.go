@@ -1,0 +1,113 @@
+package benchtrend
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func rec(tool string, cpus int, metrics map[string]float64) Record {
+	return Record{Schema: Schema, Tool: tool, UnixSec: 1, GitSHA: "abc",
+		GoVersion: "go0", NumCPU: cpus, Metrics: metrics}
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	want := []Record{
+		rec("loadgen", 4, map[string]float64{"decisions_per_sec": 1e6}),
+		rec("simbench", 4, map[string]float64{"decode_fps": 250}),
+	}
+	for _, r := range want {
+		if err := Append(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Tool != want[i].Tool || got[i].NumCPU != want[i].NumCPU {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], want[i])
+		}
+		for k, v := range want[i].Metrics {
+			if got[i].Metrics[k] != v {
+				t.Fatalf("record %d metric %s: %g, want %g", i, k, got[i].Metrics[k], v)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.jsonl")
+	if err := os.WriteFile(path, []byte("{\"schema\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a malformed line")
+	}
+}
+
+func TestStampEnvironment(t *testing.T) {
+	r := Stamp("loadgen", map[string]float64{"x": 1})
+	if r.Schema != Schema || r.Tool != "loadgen" {
+		t.Fatalf("stamp header %+v", r)
+	}
+	if r.GoVersion != runtime.Version() || r.NumCPU != runtime.NumCPU() {
+		t.Fatalf("environment not stamped: %+v", r)
+	}
+	if r.GitSHA == "" {
+		t.Fatal("empty git sha (want a hash or the \"unknown\" fallback)")
+	}
+	if r.UnixSec == 0 {
+		t.Fatal("unstamped time")
+	}
+}
+
+func TestGateMedianAndThreshold(t *testing.T) {
+	m := func(v float64) map[string]float64 { return map[string]float64{"dps": v} }
+	recs := []Record{
+		rec("loadgen", 4, m(100)),
+		rec("loadgen", 4, m(120)),
+		rec("loadgen", 4, m(80)),
+		rec("simbench", 4, map[string]float64{"fps": 9}), // other tool: ignored
+		rec("loadgen", 8, m(1)),                          // other host shape: ignored
+		rec("loadgen", 4, m(60)),                         // newest = current run
+	}
+	res, err := Gate(recs, "loadgen", []string{"dps"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Samples != 3 || r.Median != 100 {
+		t.Fatalf("history selection: %+v (want 3 samples, median 100)", r)
+	}
+	if !r.Pass || r.Ratio != 0.6 {
+		t.Fatalf("60 vs median 100 at minRatio 0.5 should pass with ratio 0.6: %+v", r)
+	}
+	res, err = Gate(recs, "loadgen", []string{"dps"}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Pass {
+		t.Fatalf("60 vs median 100 at minRatio 0.7 should fail: %+v", res[0])
+	}
+}
+
+func TestGateVacuousWithoutHistory(t *testing.T) {
+	recs := []Record{rec("loadgen", 4, map[string]float64{"dps": 5})}
+	res, err := Gate(recs, "loadgen", nil, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !res[0].Pass || res[0].Samples != 0 {
+		t.Fatalf("first-ever record must pass vacuously: %+v", res)
+	}
+	if _, err := Gate(recs, "simbench", nil, 0.9); err == nil {
+		t.Fatal("Gate found a simbench record where none exists")
+	}
+}

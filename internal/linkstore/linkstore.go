@@ -643,6 +643,17 @@ type BatchStats struct {
 	// Kinds counts the batch's ops per feedback kind (out-of-range kinds
 	// are not counted).
 	Kinds [core.NumKinds]uint64
+	// Algo is the batch's resolved algorithm when every op resolves to the
+	// same one — the common shape, since a sender batches one station's
+	// feedback and the loadgen partitions clients per algorithm. When ops
+	// resolve to more than one algorithm, Mixed is set and Algo holds the
+	// first. Resolution follows each op's Algo field against the store
+	// default; a pre-existing link bound to a different algorithm still
+	// tallies under the op's requested algorithm (the binding lives behind
+	// the shard lock, which the routing pass deliberately never takes).
+	Algo ctl.Algo
+	// Mixed reports that the batch's ops named more than one algorithm.
+	Mixed bool
 }
 
 // minParallelOps is the smallest batch the parallel executor bothers
@@ -677,6 +688,11 @@ func (st *Store) ApplyBatchStats(ops []Op, out []int32, bs *BatchStats) []int32 
 		if bs != nil {
 			if k := ops[i].Kind; k < core.NumKinds {
 				bs.Kinds[k]++
+			}
+			if a := st.resolveAlgo(ops[i].Algo); i == 0 {
+				bs.Algo = a
+			} else if a != bs.Algo {
+				bs.Mixed = true
 			}
 		}
 	}

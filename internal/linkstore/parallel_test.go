@@ -133,7 +133,9 @@ func TestApplyBatchStatsKinds(t *testing.T) {
 	st := New(Config{Shards: 4})
 	rng := rand.New(rand.NewSource(3))
 	ops := make([]Op, 1000)
-	var want BatchStats
+	// Every op carries AlgoDefault, so the batch resolves uniformly to the
+	// store default.
+	want := BatchStats{Algo: ctl.AlgoSoftRate}
 	for i := range ops {
 		k := core.FeedbackKind(rng.Intn(int(core.NumKinds)))
 		ops[i] = Op{LinkID: uint64(rng.Intn(100)), Kind: k, BER: 1e-6}
@@ -144,6 +146,13 @@ func TestApplyBatchStatsKinds(t *testing.T) {
 	st.ApplyBatchStats(ops, out, &got)
 	if got != want {
 		t.Fatalf("batch stats %+v, want %+v", got, want)
+	}
+
+	// Naming a second algorithm anywhere in the batch marks it mixed.
+	ops[500].Algo = 2
+	st.ApplyBatchStats(ops, out, &got)
+	if !got.Mixed || got.Algo != ctl.AlgoSoftRate {
+		t.Fatalf("mixed batch stats %+v, want Mixed with first algo softrate", got)
 	}
 }
 

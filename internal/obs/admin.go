@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Admin is the HTTP management surface over a serving process — the
+// ndn-dpdk-style ops plane over the dataplane, scoped to what softrated
+// needs:
+//
+//	/statusz       full JSON stats snapshot (Status())
+//	/metrics       Prometheus text exposition (Metrics(w))
+//	/healthz       liveness: 200 "ok" while serving, 503 once draining
+//	/drainz        trigger graceful drain (POST or GET; idempotent)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// All read endpoints are safe to hit at any rate while the dataplane runs
+// full speed: they only take per-stripe histogram locks and per-shard
+// store locks, the same ones a concurrent Decide already cycles through.
+type Admin struct {
+	// Status builds the /statusz document (JSON-marshalable). Required.
+	Status func() any
+	// Metrics writes the Prometheus exposition. Required.
+	Metrics func(io.Writer)
+	// Drain starts a graceful drain: stop accepting work, finish what is
+	// in flight, then shut the process down. Called at most once, from a
+	// fresh goroutine — /drainz replies before the drain completes. nil
+	// disables /drainz (404).
+	Drain func()
+
+	drainOnce sync.Once
+	draining  bool
+	mu        sync.Mutex
+}
+
+// Mux builds the admin handler.
+func (a *Admin) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		a.mu.Lock()
+		draining := a.draining
+		a.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		a.Metrics(w)
+	})
+	if a.Drain != nil {
+		mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+			a.mu.Lock()
+			a.draining = true
+			a.mu.Unlock()
+			a.drainOnce.Do(func() { go a.Drain() })
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, "draining\n")
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"softrate/internal/core"
+	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
+	"softrate/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -40,21 +42,47 @@ type Stats struct {
 	Store linkstore.Stats
 }
 
+// maxAlgoSlots bounds the per-algorithm metric arrays: slot 0 collects
+// mixed batches (ops naming more than one algorithm in one Decide) plus
+// any algorithm ID at or past the bound; slots 1.. are the registered
+// ctl.Algo IDs (currently 1-5). Sized as an array so the zero-value
+// obs.Latency stripes live inline in the Server — no per-batch pointer
+// chase and nothing to allocate on the hot path.
+const maxAlgoSlots = 8
+
+// algoSlot maps an algorithm ID to its metric slot.
+func algoSlot(a ctl.Algo) int {
+	if int(a) < maxAlgoSlots {
+		return int(a)
+	}
+	return 0
+}
+
 // Server is the decision service.
 type Server struct {
 	store *linkstore.Store
 	ttl   time.Duration
+	start time.Time
 
 	batches uint64
 	frames  uint64
 	kinds   [core.NumKinds]uint64
+
+	// Per-algorithm hot-path metrics, attributed by the batch's uniform
+	// resolved algorithm (slot 0 = mixed batches). Recording is
+	// allocation-free: counters are single atomics and the latency
+	// histograms are stripe-locked (obs.Latency).
+	algoBatches [maxAlgoSlots]obs.Counter
+	algoFrames  [maxAlgoSlots]obs.Counter
+	batchLat    [maxAlgoSlots]obs.Latency
+	opLat       [maxAlgoSlots]obs.Latency
 
 	tcp tcpState
 }
 
 // New builds a Server.
 func New(cfg Config) *Server {
-	return &Server{store: linkstore.New(cfg.Store), ttl: cfg.Store.TTL}
+	return &Server{store: linkstore.New(cfg.Store), ttl: cfg.Store.TTL, start: time.Now()}
 }
 
 // Store exposes the underlying link store (for embedding scenarios that
@@ -71,13 +99,29 @@ func (s *Server) Decide(ops []linkstore.Op, out []int32) []int32 {
 	// batch, not one per record — the counters share a cache line and
 	// concurrent Decide callers would otherwise bounce it for every frame.
 	var bs linkstore.BatchStats
+	t0 := time.Now()
 	res := s.store.ApplyBatchStats(ops, out, &bs)
+	d := time.Since(t0)
 	atomic.AddUint64(&s.batches, 1)
 	atomic.AddUint64(&s.frames, uint64(len(ops)))
 	for k, n := range bs.Kinds {
 		if n > 0 {
 			atomic.AddUint64(&s.kinds[k], n)
 		}
+	}
+	// Latency attribution: a uniform batch lands on its algorithm's slot,
+	// a mixed batch on slot 0. The per-op histogram records each op's
+	// share of the batch (d/n observed n times) — per-op cost quantiles
+	// weighted by batch size, without a per-op clock read.
+	slot := 0
+	if !bs.Mixed {
+		slot = algoSlot(bs.Algo)
+	}
+	s.algoBatches[slot].Inc()
+	s.batchLat[slot].Observe(d)
+	if n := uint64(len(ops)); n > 0 {
+		s.algoFrames[slot].Add(n)
+		s.opLat[slot].ObserveN(d/time.Duration(n), n)
 	}
 	return res
 }

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"softrate/internal/core"
+	"softrate/internal/ctl"
+	"softrate/internal/linkstore"
+	"softrate/internal/obs"
+	"softrate/internal/stats"
+)
+
+// The ops-plane read side. Status() is the one snapshot path: it drains
+// every counter, merges every latency stripe (stats.Histogram.Snapshot),
+// and aggregates the store — /statusz serializes the result as JSON and
+// WritePrometheus renders the same snapshot as a Prometheus exposition,
+// so the two surfaces can never disagree mid-run.
+
+// kindNames label the core.FeedbackKind counters.
+var kindNames = [core.NumKinds]string{"ber", "collision", "silent", "postamble"}
+
+// AlgoStatus is one algorithm's slice of a Status snapshot (slot "mixed"
+// collects batches whose ops named more than one algorithm).
+type AlgoStatus struct {
+	// Algo is the algorithm name, or "mixed".
+	Algo string `json:"algo"`
+	// Batches and Frames count Decide calls and feedback records
+	// attributed to this algorithm.
+	Batches uint64 `json:"batches"`
+	Frames  uint64 `json:"frames"`
+	// BatchLatency digests the per-Decide latency histogram; OpLatency the
+	// per-record share (batch latency / batch size, weighted by size).
+	BatchLatency obs.LatencySummary `json:"batch_latency"`
+	OpLatency    obs.LatencySummary `json:"op_latency"`
+
+	batchHist stats.Histogram // retained for the Prometheus renderer
+	opHist    stats.Histogram
+}
+
+// TransportStatus is the TCP transport's counter snapshot.
+type TransportStatus struct {
+	// ConnsAccepted counts accepted connections; ConnsActive is the
+	// current open count.
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsActive   int64  `json:"conns_active"`
+	// RequestsV1/V2/V3 count request batches by wire framing version.
+	RequestsV1 uint64 `json:"requests_v1"`
+	RequestsV2 uint64 `json:"requests_v2"`
+	RequestsV3 uint64 `json:"requests_v3"`
+	// FramingErrors counts protocol violations (oversized or undecodable
+	// payloads); each drops its connection.
+	FramingErrors uint64 `json:"framing_errors"`
+	// ClientsPoisoned counts Client-side poisonings in this process —
+	// nonzero only for loopback/embedded clients (a remote softrated
+	// always reports 0 here; its clients poison themselves).
+	ClientsPoisoned uint64 `json:"clients_poisoned"`
+	// Draining reports that a graceful drain is in progress or done.
+	Draining bool `json:"draining"`
+}
+
+// Status is the full ops-plane snapshot served at /statusz.
+type Status struct {
+	// UptimeSec is seconds since the server was built.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Batches and Frames mirror Stats (cumulative Decide calls/records).
+	Batches uint64 `json:"batches"`
+	Frames  uint64 `json:"frames"`
+	// Kinds counts records per feedback kind, by name.
+	Kinds map[string]uint64 `json:"kinds"`
+	// Algos holds per-algorithm decision metrics for every slot that saw
+	// traffic ("mixed" first when present, then ID order).
+	Algos []AlgoStatus `json:"algos"`
+	// Store is the link store's aggregate view (including per-algorithm
+	// churn in Store.Algos); PerShard is the per-shard breakdown.
+	Store    linkstore.Stats        `json:"store"`
+	PerShard []linkstore.ShardStats `json:"per_shard"`
+	// Transport is the TCP transport's counter snapshot.
+	Transport TransportStatus `json:"transport"`
+}
+
+// slotName returns the metric label of a per-algorithm slot.
+func slotName(slot int) string {
+	if slot == 0 {
+		return "mixed"
+	}
+	if spec, ok := ctl.Lookup(ctl.Algo(slot)); ok {
+		return spec.Name
+	}
+	return fmt.Sprintf("algo%d", slot)
+}
+
+// Status snapshots every service counter, latency histogram and store
+// stat. Safe to call at any rate concurrently with Decide; it takes only
+// the same stripe and shard locks the hot path cycles through.
+func (s *Server) Status() Status {
+	out := Status{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Batches:   atomic.LoadUint64(&s.batches),
+		Frames:    atomic.LoadUint64(&s.frames),
+		Kinds:     make(map[string]uint64, core.NumKinds),
+	}
+	for k, name := range kindNames {
+		out.Kinds[name] = atomic.LoadUint64(&s.kinds[k])
+	}
+	for slot := 0; slot < maxAlgoSlots; slot++ {
+		batches := s.algoBatches[slot].Load()
+		if batches == 0 {
+			continue
+		}
+		as := AlgoStatus{
+			Algo:      slotName(slot),
+			Batches:   batches,
+			Frames:    s.algoFrames[slot].Load(),
+			batchHist: s.batchLat[slot].Snapshot(),
+			opHist:    s.opLat[slot].Snapshot(),
+		}
+		as.BatchLatency = obs.Summarize(&as.batchHist)
+		as.OpLatency = obs.Summarize(&as.opHist)
+		out.Algos = append(out.Algos, as)
+	}
+	out.Store = s.store.Stats()
+	out.PerShard = s.store.PerShard()
+	out.Transport = s.transportStatus()
+	return out
+}
+
+// WritePrometheus renders a Status snapshot as a Prometheus text
+// exposition. Metric names are documented in the README's Observability
+// section.
+func (s *Server) WritePrometheus(w io.Writer) {
+	st := s.Status()
+
+	obs.PromGauge(w, "softrated_uptime_seconds", "", "seconds since the server started", st.UptimeSec)
+	obs.PromCounter(w, "softrated_batches_total", "", "Decide batches served", st.Batches)
+	obs.PromCounter(w, "softrated_frames_total", "", "feedback records served", st.Frames)
+
+	obs.PromHeader(w, "softrated_frames_by_kind_total", "counter", "feedback records by kind")
+	for _, name := range kindNames {
+		obs.PromSample(w, "softrated_frames_by_kind_total", `kind="`+name+`"`, float64(st.Kinds[name]))
+	}
+
+	obs.PromHeader(w, "softrated_batches_by_algo_total", "counter", "Decide batches by attributed algorithm")
+	for i := range st.Algos {
+		obs.PromSample(w, "softrated_batches_by_algo_total", `algo="`+st.Algos[i].Algo+`"`, float64(st.Algos[i].Batches))
+	}
+	obs.PromHeader(w, "softrated_frames_by_algo_total", "counter", "feedback records by attributed algorithm")
+	for i := range st.Algos {
+		obs.PromSample(w, "softrated_frames_by_algo_total", `algo="`+st.Algos[i].Algo+`"`, float64(st.Algos[i].Frames))
+	}
+	obs.PromHeader(w, "softrated_batch_latency_seconds", "histogram", "Decide batch latency by attributed algorithm")
+	for i := range st.Algos {
+		obs.PromHistogramSamples(w, "softrated_batch_latency_seconds", `algo="`+st.Algos[i].Algo+`"`, &st.Algos[i].batchHist)
+	}
+	obs.PromHeader(w, "softrated_op_latency_seconds", "histogram", "per-record share of batch latency by attributed algorithm")
+	for i := range st.Algos {
+		obs.PromHistogramSamples(w, "softrated_op_latency_seconds", `algo="`+st.Algos[i].Algo+`"`, &st.Algos[i].opHist)
+	}
+
+	obs.PromGauge(w, "softrated_links_live", "", "links in the hot maps", float64(st.Store.Live))
+	obs.PromGauge(w, "softrated_links_archived", "", "evicted links in the archive", float64(st.Store.Archived))
+	obs.PromCounter(w, "softrated_store_hits_total", "", "ops that found their link hot", st.Store.Hits)
+	obs.PromCounter(w, "softrated_store_creates_total", "", "links created fresh", st.Store.Creates)
+	obs.PromCounter(w, "softrated_store_restores_total", "", "links revived from the archive", st.Store.Restores)
+	obs.PromCounter(w, "softrated_store_evictions_total", "", "links evicted by TTL", st.Store.Evictions)
+
+	obs.PromHeader(w, "softrated_store_links_by_algo", "gauge", "live and archived links by bound algorithm")
+	for _, as := range st.Store.Algos {
+		name := slotName(int(as.Algo))
+		obs.PromSample(w, "softrated_store_links_by_algo", `algo="`+name+`",state="live"`, float64(as.Live))
+		obs.PromSample(w, "softrated_store_links_by_algo", `algo="`+name+`",state="archived"`, float64(as.Archived))
+	}
+	obs.PromHeader(w, "softrated_store_churn_by_algo_total", "counter", "store churn by bound algorithm")
+	for _, as := range st.Store.Algos {
+		name := slotName(int(as.Algo))
+		obs.PromSample(w, "softrated_store_churn_by_algo_total", `algo="`+name+`",event="create"`, float64(as.Creates))
+		obs.PromSample(w, "softrated_store_churn_by_algo_total", `algo="`+name+`",event="restore"`, float64(as.Restores))
+		obs.PromSample(w, "softrated_store_churn_by_algo_total", `algo="`+name+`",event="evict"`, float64(as.Evictions))
+	}
+
+	obs.PromCounter(w, "softrated_conns_accepted_total", "", "TCP connections accepted", st.Transport.ConnsAccepted)
+	obs.PromGauge(w, "softrated_conns_active", "", "open TCP connections", float64(st.Transport.ConnsActive))
+	obs.PromHeader(w, "softrated_requests_total", "counter", "request batches by wire framing version")
+	obs.PromSample(w, "softrated_requests_total", `version="v1"`, float64(st.Transport.RequestsV1))
+	obs.PromSample(w, "softrated_requests_total", `version="v2"`, float64(st.Transport.RequestsV2))
+	obs.PromSample(w, "softrated_requests_total", `version="v3"`, float64(st.Transport.RequestsV3))
+	obs.PromCounter(w, "softrated_framing_errors_total", "", "protocol violations (each drops its connection)", st.Transport.FramingErrors)
+	obs.PromCounter(w, "softrated_clients_poisoned_total", "", "in-process clients poisoned by transport errors", st.Transport.ClientsPoisoned)
+	draining := 0.0
+	if st.Transport.Draining {
+		draining = 1
+	}
+	obs.PromGauge(w, "softrated_draining", "", "1 while a graceful drain is in progress or done", draining)
+}

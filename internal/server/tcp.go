@@ -8,9 +8,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softrate/internal/linkstore"
+	"softrate/internal/obs"
 )
 
 // TCP transport: each request batch is a uint32 little-endian payload
@@ -42,7 +44,37 @@ type tcpState struct {
 	stop      chan struct{}
 	closed    bool
 	sweeping  bool
+	draining  atomic.Bool
 	wg        sync.WaitGroup
+
+	// Transport counters (see TransportStatus for meanings). Recording is
+	// one atomic per event, off the per-record path: versions count per
+	// request batch, connections per accept.
+	accepted      obs.Counter
+	active        obs.Gauge
+	reqV1         obs.Counter
+	reqV2         obs.Counter
+	reqV3         obs.Counter
+	framingErrors obs.Counter
+}
+
+// clientPoisons counts Client poisonings process-wide (the client side
+// lives in this package; a softrated process only sees nonzero here when
+// clients share its process, e.g. loadgen -tcp loopback).
+var clientPoisons obs.Counter
+
+// transportStatus snapshots the transport counters.
+func (s *Server) transportStatus() TransportStatus {
+	return TransportStatus{
+		ConnsAccepted:   s.tcp.accepted.Load(),
+		ConnsActive:     s.tcp.active.Load(),
+		RequestsV1:      s.tcp.reqV1.Load(),
+		RequestsV2:      s.tcp.reqV2.Load(),
+		RequestsV3:      s.tcp.reqV3.Load(),
+		FramingErrors:   s.tcp.framingErrors.Load(),
+		ClientsPoisoned: clientPoisons.Load(),
+		Draining:        s.tcp.draining.Load(),
+	}
 }
 
 func (t *tcpState) init() {
@@ -92,11 +124,14 @@ func (s *Server) Serve(l net.Listener) error {
 			case <-stop:
 				return nil // orderly shutdown
 			default:
+				if s.tcp.draining.Load() {
+					return nil // orderly drain closed the listener
+				}
 				return err
 			}
 		}
 		s.tcp.mu.Lock()
-		if s.tcp.closed {
+		if s.tcp.closed || s.tcp.draining.Load() {
 			s.tcp.mu.Unlock()
 			conn.Close()
 			return nil
@@ -104,14 +139,60 @@ func (s *Server) Serve(l net.Listener) error {
 		s.tcp.conns[conn] = struct{}{}
 		s.tcp.wg.Add(1) // under the lock: pairs with the closed check above
 		s.tcp.mu.Unlock()
+		s.tcp.accepted.Inc()
+		s.tcp.active.Add(1)
 		go func() {
 			defer s.tcp.wg.Done()
 			s.handleConn(conn)
 			s.tcp.mu.Lock()
 			delete(s.tcp.conns, conn)
 			s.tcp.mu.Unlock()
+			s.tcp.active.Add(-1)
 		}()
 	}
+}
+
+// Drain gracefully quiesces the TCP transport: listeners close so no new
+// connection is accepted, every open connection finishes the requests it
+// has already received — the in-flight pipelined window is answered and
+// flushed — and idle connections are woken by a read deadline at now +
+// grace. Once every connection has drained (or grace expires and the
+// stragglers are force-closed), the sweeper stops and Drain returns with
+// the server fully closed. This is the shutdown primitive cluster-level
+// link migration needs: after Drain returns, every accepted request has
+// a flushed response and the store is quiescent, so its state can be
+// snapshotted or handed off. Concurrent and repeated calls are safe.
+func (s *Server) Drain(grace time.Duration) {
+	s.tcp.mu.Lock()
+	s.tcp.init()
+	if s.tcp.closed {
+		s.tcp.mu.Unlock()
+		s.tcp.wg.Wait()
+		return
+	}
+	s.tcp.draining.Store(true)
+	for l := range s.tcp.listeners {
+		l.Close()
+	}
+	deadline := time.Now().Add(grace)
+	for c := range s.tcp.conns {
+		// Wake handlers blocked reading an idle connection; handlers mid-
+		// request keep reading (their bytes arrive long before the
+		// deadline) and re-check the draining flag between requests.
+		c.SetReadDeadline(deadline)
+	}
+	s.tcp.mu.Unlock()
+
+	for time.Now().Before(deadline) {
+		s.tcp.mu.Lock()
+		n := len(s.tcp.conns)
+		s.tcp.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close() // force-closes stragglers, stops the sweeper, waits handlers out
 }
 
 // Close shuts down all listeners and connections and waits for handler
@@ -150,11 +231,18 @@ func (s *Server) handleConn(conn net.Conn) {
 		resp    []byte
 	)
 	for {
+		if s.tcp.draining.Load() && br.Buffered() == 0 {
+			// Graceful drain: everything this connection submitted has been
+			// answered and flushed (the flush below runs whenever the read
+			// buffer empties); stop before blocking on a next request.
+			return
+		}
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return // EOF or peer gone
+			return // EOF, peer gone, or the drain deadline expired while idle
 		}
 		n := binary.LittleEndian.Uint32(hdr[:])
 		if n > maxPayload {
+			s.tcp.framingErrors.Inc()
 			return // protocol violation: drop the connection
 		}
 		if cap(payload) < int(n) {
@@ -166,9 +254,18 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		ops2, reqID, tagged, err := DecodeRequest(payload, ops)
 		if err != nil {
+			s.tcp.framingErrors.Inc()
 			return
 		}
 		ops = ops2
+		switch {
+		case tagged:
+			s.tcp.reqV3.Inc()
+		case len(payload)%RecordSize == 0:
+			s.tcp.reqV1.Inc()
+		default:
+			s.tcp.reqV2.Inc()
+		}
 		if cap(out) < len(ops) {
 			out = make([]int32, len(ops))
 		}
@@ -306,6 +403,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) poison(err error) error {
 	if c.err == nil {
 		c.err = fmt.Errorf("server: client poisoned by earlier error: %w", err)
+		clientPoisons.Inc()
 	}
 	return err
 }

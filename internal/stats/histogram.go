@@ -7,13 +7,18 @@ import (
 )
 
 // Histogram is a fixed-layout log-linear latency histogram in the HDR
-// style: durations bucket by power-of-two magnitude with histSub linear
-// sub-buckets per octave, covering 1 ns to ~1.2 min with a worst-case
-// quantile error of 1/histSub (6.25%). The layout is fixed so histograms
-// merge by bucket-wise addition — each load-generator client records into
-// its own and the report merges them, avoiding hot-path locks.
+// style: durations bucket by power-of-two magnitude with 16 linear
+// sub-buckets per octave (1/16-octave buckets), covering 1 ns to ~1.2 min.
+// Every value-reporting query (Quantile, the Buckets iterator) returns a
+// bucket's inclusive upper bound, so reported values overstate the true
+// recorded value by at most one sub-bucket width — a relative error bound
+// of 1/16 (6.25%); Count, Sum, Mean and Max are exact. The layout is fixed
+// so histograms merge by bucket-wise addition — each load-generator client
+// records into its own and the report merges them, avoiding hot-path
+// locks.
 //
-// The zero value is ready to use. Not safe for concurrent use.
+// The zero value is ready to use. Not safe for concurrent use (obs.Latency
+// wraps it in shard stripes for concurrent writers).
 type Histogram struct {
 	count   uint64
 	sum     int64
@@ -72,8 +77,53 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketIndex(ns)]++
 }
 
+// ObserveN records n observations of d in one update — the batch form used
+// to attribute a served batch's per-op latency share without n bucket
+// walks. Equivalent to calling Observe(d) n times.
+func (h *Histogram) ObserveN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count += n
+	h.sum += ns * int64(n)
+	if ns > h.max {
+		h.max = ns
+	}
+	h.buckets[bucketIndex(ns)] += n
+}
+
+// Snapshot returns a copy of the histogram. It is the one read path shared
+// by every renderer: quantile summaries and the Prometheus exposition both
+// work from a snapshot's Quantile/Buckets, so a snapshot taken while the
+// original keeps recording stays internally consistent.
+func (h *Histogram) Snapshot() Histogram { return *h }
+
+// Buckets iterates the occupied buckets in increasing value order, calling
+// fn with each bucket's inclusive upper bound (ns) and the cumulative
+// observation count at or below that bound. Only buckets holding at least
+// one observation are visited (the final call's cumulative equals Count),
+// which keeps Prometheus expositions compact: emit one `le` line per visit
+// plus +Inf. Upper bounds carry the type-level 1/16-octave error bound.
+func (h *Histogram) Buckets(fn func(upperNs int64, cumulative uint64)) {
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fn(bucketUpper(i), cum)
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
 
 // Mean returns the mean duration (0 when empty).
 func (h *Histogram) Mean() time.Duration {
@@ -86,9 +136,11 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the largest observed duration.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
-// Quantile returns an upper bound on the q-quantile (q in [0,1]), accurate
-// to one sub-bucket (6.25%). The exact recorded maximum is returned for
-// q = 1.
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// inclusive upper bound of the 1/16-octave bucket holding the nearest-rank
+// observation, so the result overstates the true quantile by at most 1/16
+// (6.25%) of its value. The exact recorded maximum is returned for q = 1
+// (and caps every answer).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObserveNMatchesRepeatedObserve(t *testing.T) {
+	var a, b Histogram
+	samples := []struct {
+		d time.Duration
+		n uint64
+	}{
+		{0, 3}, {time.Nanosecond, 1}, {17 * time.Nanosecond, 5},
+		{time.Microsecond, 100}, {3 * time.Millisecond, 7},
+		{time.Second, 2}, {-time.Second, 4}, {90 * time.Second, 1},
+	}
+	for _, s := range samples {
+		a.ObserveN(s.d, s.n)
+		for i := uint64(0); i < s.n; i++ {
+			b.Observe(s.d)
+		}
+	}
+	if a != b {
+		t.Fatalf("ObserveN diverges from repeated Observe: count %d vs %d, sum %d vs %d",
+			a.count, b.count, a.sum, b.sum)
+	}
+	var c Histogram
+	c.ObserveN(time.Second, 0)
+	if c.Count() != 0 || c.Max() != 0 {
+		t.Fatalf("ObserveN(d, 0) recorded something: count=%d max=%v", c.Count(), c.Max())
+	}
+}
+
+func TestSnapshotIsIndependentCopy(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	snap := h.Snapshot()
+	h.Observe(time.Second)
+	if snap.Count() != 1 {
+		t.Fatalf("snapshot count %d changed by later observation", snap.Count())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("original count %d", h.Count())
+	}
+}
+
+func TestBucketsCumulative(t *testing.T) {
+	var h Histogram
+	durs := []time.Duration{
+		5 * time.Nanosecond, 5 * time.Nanosecond, 300 * time.Nanosecond,
+		time.Microsecond, 50 * time.Microsecond, 2 * time.Millisecond,
+		2 * time.Millisecond, time.Second,
+	}
+	for _, d := range durs {
+		h.Observe(d)
+	}
+
+	var (
+		visits  int
+		lastUp  int64 = -1
+		lastCum uint64
+	)
+	h.Buckets(func(upperNs int64, cum uint64) {
+		visits++
+		if upperNs <= lastUp {
+			t.Fatalf("bucket upper bounds not increasing: %d after %d", upperNs, lastUp)
+		}
+		if cum <= lastCum {
+			t.Fatalf("cumulative not increasing: %d after %d", cum, lastCum)
+		}
+		lastUp, lastCum = upperNs, cum
+	})
+	if lastCum != h.Count() {
+		t.Fatalf("final cumulative %d != count %d", lastCum, h.Count())
+	}
+	if visits == 0 || visits > len(durs) {
+		t.Fatalf("visited %d buckets for %d observations", visits, len(durs))
+	}
+
+	// The iterator and Quantile must agree: the q-quantile is the upper
+	// bound of the first bucket whose cumulative reaches rank ceil(q*count)
+	// (capped by the exact max) — the shared-read-path property /statusz
+	// and the Prometheus renderer rely on.
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99} {
+		rank := uint64(float64(h.Count())*q + 0.9999999)
+		var want int64 = -1
+		h.Buckets(func(upperNs int64, cum uint64) {
+			if want < 0 && cum >= rank {
+				want = upperNs
+			}
+		})
+		if m := int64(h.Max()); want > m {
+			want = m
+		}
+		if got := int64(h.Quantile(q)); got != want {
+			t.Fatalf("q=%v: Quantile %d != bucket-iterator answer %d", q, got, want)
+		}
+	}
+
+	// Empty histogram: no visits.
+	var empty Histogram
+	empty.Buckets(func(int64, uint64) { t.Fatal("visit on empty histogram") })
+}
+
+func TestSumExact(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	h.ObserveN(2*time.Millisecond, 4)
+	if got, want := h.Sum(), 11*time.Millisecond; got != want {
+		t.Fatalf("Sum %v, want %v", got, want)
+	}
+}
