@@ -31,11 +31,12 @@ import (
 
 func main() {
 	var (
-		trend    = flag.String("trend", "BENCH_TREND.jsonl", "trend ledger to read")
-		tool     = flag.String("tool", "", "gate this tool's newest record (loadgen | simbench)")
-		metrics  = flag.String("metrics", "", "comma list of metric keys to gate (empty = every key in the newest record; gated keys must be higher-is-better)")
-		minRatio = flag.Float64("min-ratio", 0.5, "fail when current < min-ratio x NumCPU-matched historical median")
-		list     = flag.Bool("list", false, "print every record and exit")
+		trend     = flag.String("trend", "BENCH_TREND.jsonl", "trend ledger to read")
+		tool      = flag.String("tool", "", "gate this tool's newest record (loadgen | simbench)")
+		transport = flag.String("transport", "", "gate only records with this transport dimension (in-process | tcp-loopback | udp-loopback | shm | ...); empty = the newest record's transport")
+		metrics   = flag.String("metrics", "", "comma list of metric keys to gate (empty = every key in the newest record; gated keys must be higher-is-better)")
+		minRatio  = flag.Float64("min-ratio", 0.5, "fail when current < min-ratio x NumCPU-matched historical median")
+		list      = flag.Bool("list", false, "print every record and exit")
 	)
 	flag.Parse()
 
@@ -49,6 +50,9 @@ func main() {
 		for _, r := range recs {
 			fmt.Printf("%s %-8s %s go=%s cpus=%d", time.Unix(r.UnixSec, 0).UTC().Format("2006-01-02T15:04:05Z"),
 				r.Tool, r.GitSHA, r.GoVersion, r.NumCPU)
+			if r.Transport != "" {
+				fmt.Printf(" transport=%s", r.Transport)
+			}
 			for _, k := range sortedKeys(r.Metrics) {
 				fmt.Printf(" %s=%.6g", k, r.Metrics[k])
 			}
@@ -69,7 +73,7 @@ func main() {
 			}
 		}
 	}
-	results, err := benchtrend.Gate(recs, *tool, keys, *minRatio)
+	results, err := benchtrend.Gate(recs, *tool, *transport, keys, *minRatio)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)

@@ -34,6 +34,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -41,6 +42,8 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -55,6 +58,7 @@ import (
 	"softrate/internal/linkstore"
 	"softrate/internal/rate"
 	"softrate/internal/server"
+	"softrate/internal/server/shmring"
 	"softrate/internal/stats"
 	"softrate/internal/trace"
 )
@@ -80,6 +84,13 @@ type options struct {
 	prewarm  bool
 	workers  int
 	tcpLoop  bool
+
+	transport  string
+	serveExec  string
+	shmPath    string
+	shmBytes   int
+	udpDrop    float64
+	udpTimeout time.Duration
 }
 
 func main() {
@@ -104,6 +115,12 @@ func main() {
 	flag.BoolVar(&opt.prewarm, "prewarm", false, "touch every link once before the timed region (pre-grown maps/slabs; measures steady state)")
 	flag.IntVar(&opt.workers, "workers", 0, "in-process/loopback store: fan each batch's shard visits across this many goroutines (<=1 = sequential)")
 	flag.BoolVar(&opt.tcpLoop, "tcp", false, "serve over a loopback TCP listener even without -addr (measures the transport on one host)")
+	flag.StringVar(&opt.transport, "transport", "", "transport to drive: tcp | udp | shm (empty = in-process, or tcp when -addr/-tcp is set)")
+	flag.StringVar(&opt.serveExec, "serve-exec", "", "fork this softrated binary as a separate server process and drive it over -transport (multi-process bench mode)")
+	flag.StringVar(&opt.shmPath, "shm", "", "attach to an external server's shm ring files at this path prefix (connect-only; needs -transport shm)")
+	flag.IntVar(&opt.shmBytes, "shm-ring-bytes", 0, "per-ring capacity for in-process/forked shm servers (0 = default)")
+	flag.Float64Var(&opt.udpDrop, "udp-drop", 0, "UDP chaos shim: drop this fraction of response datagrams client-side (deterministic per -seed); timed-out decisions keep the current rate")
+	flag.DurationVar(&opt.udpTimeout, "udp-timeout", 20*time.Millisecond, "UDP: how long to wait for a response before treating the decision as lost")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -112,8 +129,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: need clients >= 1, links >= clients, batch >= 1")
 		os.Exit(2)
 	}
-	if opt.pipeline > 1 && opt.addr == "" && !opt.tcpLoop {
-		fmt.Fprintln(os.Stderr, "loadgen: -pipeline needs a TCP transport (-addr or -tcp); the in-process path has no wire to pipeline")
+	// Normalize the transport selection: -tcp and -addr are the legacy
+	// spellings of -transport tcp.
+	if opt.transport == "" && (opt.tcpLoop || opt.addr != "") {
+		opt.transport = "tcp"
+	}
+	switch opt.transport {
+	case "", "tcp", "udp", "shm":
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -transport %q (want tcp | udp | shm)\n", opt.transport)
+		os.Exit(2)
+	}
+	if opt.transport == "tcp" && opt.addr == "" {
+		opt.tcpLoop = true
+	}
+	if opt.pipeline > 1 && opt.transport == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -pipeline needs a wire transport (-transport, -addr or -tcp); the in-process path has no wire to pipeline")
+		os.Exit(2)
+	}
+	if opt.shmPath != "" && opt.transport != "shm" {
+		fmt.Fprintln(os.Stderr, "loadgen: -shm needs -transport shm")
+		os.Exit(2)
+	}
+	if opt.udpDrop > 0 && opt.transport != "udp" {
+		fmt.Fprintln(os.Stderr, "loadgen: -udp-drop needs -transport udp")
+		os.Exit(2)
+	}
+	if opt.serveExec != "" && opt.transport == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -serve-exec needs -transport tcp | udp | shm")
 		os.Exit(2)
 	}
 	if opt.format != "text" && opt.format != "json" {
@@ -240,6 +283,7 @@ type clientResult struct {
 	err        error
 	lat        stats.Histogram
 	rateCounts [maxRates]uint64
+	udp        server.UDPClientStats
 }
 
 // algoReport is one algorithm's slice of the machine-readable report.
@@ -280,6 +324,10 @@ type benchReport struct {
 	DecisionsPerSec float64      `json:"decisions_per_sec"`
 	Verified        bool         `json:"verified"`
 	Algos           []algoReport `json:"algos"`
+	// UDPStats aggregates the UDP clients' datagram fates (loss runs show
+	// nonzero timeouts: each is one decision lost and a rate kept).
+	UDPStats *server.UDPClientStats `json:"udp,omitempty"`
+	UDPDrop  float64                `json:"udp_drop,omitempty"`
 }
 
 func run(opt options) error {
@@ -295,10 +343,8 @@ func run(opt options) error {
 	fmt.Fprintf(os.Stderr, "loadgen: generating traces (mix=%s)...\n", opt.mix)
 	traces := makeTraces(opt)
 
-	var srv *server.Server
-	transport := "tcp:" + opt.addr
-	if opt.addr == "" {
-		srv = server.New(server.Config{Store: linkstore.Config{
+	newLocalServer := func() *server.Server {
+		return server.New(server.Config{Store: linkstore.Config{
 			Shards: opt.shards,
 			TTL:    opt.ttl,
 			// The loadgen knows its own population exactly; a real
@@ -309,7 +355,45 @@ func run(opt options) error {
 			ExpectedLinksPerAlgo: opt.links,
 			BatchWorkers:         opt.workers,
 		}})
-		if opt.tcpLoop {
+	}
+
+	// transport labels the run for the report; transportDim is the
+	// canonical trend-ledger dimension (no addresses, so records from
+	// different hosts stay comparable).
+	var srv *server.Server
+	transport, transportDim := "in-process", "in-process"
+	udpAddr := ""
+	shmPrefix := opt.shmPath
+	shmRings := opt.clients * len(algos) // one ring per client goroutine
+
+	if opt.serveExec != "" {
+		child, err := startServeExec(opt, shmRings)
+		if err != nil {
+			return err
+		}
+		defer child.stop()
+		transportDim = opt.transport + "-exec"
+		switch opt.transport {
+		case "tcp":
+			opt.addr = child.tcpAddr
+			transport = "tcp-exec"
+		case "udp":
+			udpAddr = child.udpAddr
+			transport = "udp-exec"
+		case "shm":
+			shmPrefix = child.shmPath
+			transport = "shm-exec"
+		}
+	} else {
+		switch opt.transport {
+		case "":
+			srv = newLocalServer()
+		case "tcp":
+			if opt.addr != "" {
+				transport, transportDim = "tcp:"+opt.addr, "tcp"
+				break
+			}
+			srv = newLocalServer()
 			l, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				return err
@@ -317,9 +401,51 @@ func run(opt options) error {
 			go srv.Serve(l)
 			defer srv.Close()
 			opt.addr = l.Addr().String()
-			transport = "tcp-loopback"
-		} else {
-			transport = "in-process"
+			transport, transportDim = "tcp-loopback", "tcp-loopback"
+		case "udp":
+			if opt.addr != "" {
+				udpAddr = opt.addr
+				transport, transportDim = "udp:"+opt.addr, "udp"
+				break
+			}
+			srv = newLocalServer()
+			uconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				return err
+			}
+			go srv.ServeUDP(uconn)
+			defer srv.Close()
+			udpAddr = uconn.LocalAddr().String()
+			transport, transportDim = "udp-loopback", "udp-loopback"
+		case "shm":
+			if shmPrefix != "" {
+				transport, transportDim = "shm:"+shmPrefix, "shm"
+				break
+			}
+			srv = newLocalServer()
+			dir, err := os.MkdirTemp("", "softrate-shm-")
+			if err != nil {
+				return err
+			}
+			shmPrefix = filepath.Join(dir, "ring")
+			regions := make([]*shmring.Region, shmRings)
+			for i := range regions {
+				g, err := shmring.Create(server.RingPath(shmPrefix, i), opt.shmBytes)
+				if err != nil {
+					os.RemoveAll(dir)
+					return err
+				}
+				regions[i] = g
+			}
+			defer func() {
+				for _, g := range regions {
+					g.Close()
+				}
+				os.RemoveAll(dir)
+			}()
+			go srv.ServeSHM(regions)
+			defer srv.Close() // LIFO: the serve loop stops before the regions unmap
+			transport, transportDim = "shm-loopback", "shm-loopback"
 		}
 	}
 
@@ -334,8 +460,11 @@ func run(opt options) error {
 	for ai, spec := range algos {
 		for i := 0; i < opt.links; i++ {
 			lt := traces[i%len(traces)]
+			// Namespace link IDs by registry algorithm ID (not list
+			// position) so two loadgen processes driving different -algo
+			// sets at one server never collide on link state.
 			l := &link{
-				id:   uint64(ai+1)<<40 | uint64(i+1),
+				id:   uint64(spec.ID)<<40 | uint64(i+1),
 				algo: spec.ID,
 				iter: lt.FramesMix(opt.seed+int64(i)*7919, mix),
 			}
@@ -385,10 +514,11 @@ func run(opt options) error {
 		warmed.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			var d decider
-			if opt.addr == "" {
-				d = inProcess{srv}
-			} else {
+			dr := &driver{opt: opt, links: clients[c]}
+			switch opt.transport {
+			case "":
+				dr.d = inProcess{srv}
+			case "tcp":
 				var cli *server.Client
 				var err error
 				if opt.pipeline > 1 {
@@ -402,9 +532,34 @@ func run(opt options) error {
 					return
 				}
 				defer cli.Close()
-				d = tcpDecider{cli}
+				dr.d = tcpDecider{cli}
+			case "udp":
+				cli, err := server.DialUDP(udpAddr, max(opt.pipeline, 1), opt.udpTimeout)
+				if err != nil {
+					results[c].err = err
+					warmed.Done()
+					return
+				}
+				defer cli.Close()
+				if opt.udpDrop > 0 {
+					// Deterministic per-client chaos: the shim discards this
+					// fraction of responses after parsing, exactly as if the
+					// network had eaten them.
+					rng := rand.New(rand.NewSource(opt.seed + 104729*int64(c+1)))
+					p := opt.udpDrop
+					cli.DropResponse = func(uint32) bool { return rng.Float64() < p }
+				}
+				dr.udp = cli
+			case "shm":
+				cli, err := dialFreeRing(shmPrefix, shmRings, max(opt.pipeline, 1))
+				if err != nil {
+					results[c].err = err
+					warmed.Done()
+					return
+				}
+				defer cli.Close()
+				dr.d = shmDecider{cli}
 			}
-			dr := &driver{d: d, opt: opt, links: clients[c]}
 			if opt.prewarm && !dr.prewarm() {
 				results[c] = dr.res
 				warmed.Done()
@@ -413,6 +568,9 @@ func run(opt options) error {
 			warmed.Done()
 			<-startCh
 			results[c] = dr.run(&stop)
+			if dr.udp != nil {
+				results[c].udp = dr.udp.Stats()
+			}
 		}(c)
 	}
 	warmed.Wait()
@@ -479,6 +637,20 @@ func run(opt options) error {
 	}
 	report.TotalDecisions = total
 	report.DecisionsPerSec = float64(total) / elapsed.Seconds()
+	if opt.transport == "udp" {
+		var agg server.UDPClientStats
+		for i := range results {
+			u := &results[i].udp
+			agg.Sent += u.Sent
+			agg.Answered += u.Answered
+			agg.Timeouts += u.Timeouts
+			agg.Stale += u.Stale
+			agg.Malformed += u.Malformed
+			agg.Injected += u.Injected
+		}
+		report.UDPStats = &agg
+		report.UDPDrop = opt.udpDrop
+	}
 
 	if opt.benchOut != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -497,7 +669,9 @@ func run(opt options) error {
 		for _, ar := range report.Algos {
 			metrics["decisions_per_sec."+ar.Algo] = ar.DecisionsPerSec
 		}
-		if err := benchtrend.Append(opt.trendOut, benchtrend.Stamp("loadgen", metrics)); err != nil {
+		rec := benchtrend.Stamp("loadgen", metrics)
+		rec.Transport = transportDim
+		if err := benchtrend.Append(opt.trendOut, rec); err != nil {
 			return err
 		}
 	}
@@ -544,8 +718,163 @@ func printText(rep benchReport, srv *server.Server, opt options) {
 	} else {
 		fmt.Println("store: n/a (remote server; see softrated -stats)")
 	}
+	if rep.UDPStats != nil {
+		u := rep.UDPStats
+		fmt.Printf("udp: sent=%d answered=%d timeouts=%d stale=%d malformed=%d injected-drops=%d (drop rate %g)\n",
+			u.Sent, u.Answered, u.Timeouts, u.Stale, u.Malformed, u.Injected, rep.UDPDrop)
+	}
 	if opt.verify {
 		fmt.Printf("verify: %d decisions byte-identical to bare controllers\n", rep.TotalDecisions)
+	}
+}
+
+// shmDecider adapts a shared-memory client to the loadgen's pipelined
+// decider surface (the SHMClient already speaks server.Pending).
+type shmDecider struct{ cli *server.SHMClient }
+
+func (s shmDecider) Decide(ops []linkstore.Op, out []int32) ([]int32, error) {
+	return s.cli.Decide(ops, out)
+}
+
+func (s shmDecider) Submit(ops []linkstore.Op) (*server.Pending, error) {
+	return s.cli.Submit(ops)
+}
+
+func (s shmDecider) Wait(p *server.Pending, out []int32) ([]int32, error) {
+	return s.cli.Wait(p, out)
+}
+
+// dialFreeRing attaches the first free shm ring under prefix. Concurrent
+// clients race for slots (Attach is a CAS), so losers rescan until the
+// deadline; with one ring per client everyone lands somewhere.
+func dialFreeRing(prefix string, rings, depth int) (*server.SHMClient, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var lastErr error
+		for i := 0; i < rings; i++ {
+			cli, err := server.DialSHM(server.RingPath(prefix, i), depth, 0)
+			if err == nil {
+				return cli, nil
+			}
+			lastErr = err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("no free shm ring under %s (%d rings): %w", prefix, rings, lastErr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// childServer is a softrated process forked by -serve-exec: the
+// multi-process bench mode, where the transport crosses a real process
+// boundary instead of goroutines sharing one runtime.
+type childServer struct {
+	cmd     *exec.Cmd
+	tcpAddr string
+	udpAddr string
+	shmPath string
+	tmpDir  string
+}
+
+// startServeExec forks the softrated binary with ephemeral listeners
+// (and, for shm, a temp ring directory), then scans its stderr banner
+// lines for the actual addresses before returning.
+func startServeExec(opt options, shmRings int) (*childServer, error) {
+	c := &childServer{}
+	args := []string{"-addr", "127.0.0.1:0", "-shards", fmt.Sprint(opt.shards), "-ttl", opt.ttl.String()}
+	switch opt.transport {
+	case "udp":
+		args = append(args, "-udp", "127.0.0.1:0")
+	case "shm":
+		dir, err := os.MkdirTemp("", "softrate-shm-")
+		if err != nil {
+			return nil, err
+		}
+		c.tmpDir = dir
+		c.shmPath = filepath.Join(dir, "ring")
+		args = append(args, "-shm", c.shmPath, "-shm-rings", fmt.Sprint(shmRings))
+		if opt.shmBytes > 0 {
+			args = append(args, "-shm-ring-bytes", fmt.Sprint(opt.shmBytes))
+		}
+	}
+	cmd := exec.Command(opt.serveExec, args...)
+	cmd.Stdout = os.Stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		os.RemoveAll(c.tmpDir)
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(c.tmpDir)
+		return nil, fmt.Errorf("serve-exec %s: %w", opt.serveExec, err)
+	}
+	c.cmd = cmd
+
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sent := false
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "  [softrated] "+line)
+			if sent {
+				continue
+			}
+			if a, ok := bannerAddr(line, "softrated: listening on "); ok {
+				c.tcpAddr = a
+			}
+			if a, ok := bannerAddr(line, "softrated: udp on "); ok {
+				c.udpAddr = a
+			}
+			haveTransport := (opt.transport == "tcp" && c.tcpAddr != "") ||
+				(opt.transport == "udp" && c.udpAddr != "") ||
+				(opt.transport == "shm" && strings.HasPrefix(line, "softrated: shm rings at "))
+			if haveTransport {
+				sent = true
+				ready <- nil
+			}
+		}
+		if !sent {
+			ready <- fmt.Errorf("serve-exec: softrated exited before announcing its %s transport", opt.transport)
+		}
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			c.stop()
+			return nil, err
+		}
+		return c, nil
+	case <-time.After(10 * time.Second):
+		c.stop()
+		return nil, errors.New("serve-exec: timed out waiting for softrated to come up")
+	}
+}
+
+// bannerAddr extracts the address token after prefix in a softrated
+// banner line ("softrated: udp on 127.0.0.1:7447 (burst 32)").
+func bannerAddr(line, prefix string) (string, bool) {
+	if !strings.HasPrefix(line, prefix) {
+		return "", false
+	}
+	rest := line[len(prefix):]
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// stop drains the child (SIGTERM takes softrated's graceful-drain path)
+// and reaps it; a watchdog kill bounds a wedged child.
+func (c *childServer) stop() {
+	if c.cmd != nil && c.cmd.Process != nil {
+		c.cmd.Process.Signal(os.Interrupt)
+		watchdog := time.AfterFunc(15*time.Second, func() { c.cmd.Process.Kill() })
+		c.cmd.Wait()
+		watchdog.Stop()
+	}
+	if c.tmpDir != "" {
+		os.RemoveAll(c.tmpDir)
 	}
 }
 
@@ -601,9 +930,15 @@ func (b *batchBuilder) fill(max int, now time.Time, ops []linkstore.Op, batch []
 	return ops, batch
 }
 
-// driver is one client's replay engine.
+// driver is one client's replay engine. Exactly one of d and udp is
+// set: UDP gets its own replay paths because its loss contract inverts
+// the bookkeeping — the server applies every datagram it receives even
+// when the response never makes it back, so the -verify checkers must
+// advance at submit time, and a timed-out decision means "keep the
+// current rate", not "fail".
 type driver struct {
 	d     decider
+	udp   *server.UDPClient
 	opt   options
 	links []*link
 	res   clientResult
@@ -648,6 +983,9 @@ func (dr *driver) absorb(ops []linkstore.Op, batch []*link, out []int32) bool {
 // established before the timed region. Measurements are then reset; the
 // warmed link state is kept. Returns false on error.
 func (dr *driver) prewarm() bool {
+	if dr.udp != nil {
+		return dr.prewarmUDP()
+	}
 	bb := batchBuilder{links: dr.links}
 	ops := make([]linkstore.Op, 0, dr.opt.batch)
 	batch := make([]*link, 0, dr.opt.batch)
@@ -676,6 +1014,9 @@ func (dr *driver) prewarm() bool {
 // pipelined transport with -pipeline > 1 — a sliding window of batches in
 // flight.
 func (dr *driver) run(stop *atomic.Bool) clientResult {
+	if dr.udp != nil {
+		return dr.runUDP(stop)
+	}
 	if ad, ok := dr.d.(asyncDecider); ok && dr.opt.pipeline > 1 {
 		return dr.runPipelined(ad, stop)
 	}
@@ -789,6 +1130,172 @@ func (dr *driver) runPipelined(ad asyncDecider, stop *atomic.Bool) clientResult 
 		dr.res.decisions += uint64(len(s.ops))
 		if !dr.absorb(s.ops, s.batch, s.out) {
 			return dr.res
+		}
+		s.busy = false
+	}
+}
+
+// udpSlot is one in-flight datagram batch of the UDP window.
+type udpSlot struct {
+	bb    batchBuilder
+	ops   []linkstore.Op
+	batch []*link
+	out   []int32
+	want  []int32
+	p     *server.UDPPending
+	t0    time.Time
+	busy  bool
+}
+
+// submitUDP sends slot s's built batch, advancing the -verify bare
+// checkers at submit time: on loopback the request stream is lossless,
+// so the server's controller state moves in lockstep with the checkers
+// even when the response is dropped. The recorded wants are compared if
+// and when the response arrives.
+func (dr *driver) submitUDP(s *udpSlot) (*server.UDPPending, error) {
+	if dr.opt.verify {
+		s.want = s.want[:0]
+		for i, l := range s.batch {
+			var want int
+			if l.bareSoft != nil {
+				want = l.bareSoft.Apply(s.ops[i].Kind, int(s.ops[i].RateIndex), s.ops[i].BER)
+			} else {
+				want = l.bare.Apply(ctl.Feedback{
+					Kind:      s.ops[i].Kind,
+					RateIndex: int(s.ops[i].RateIndex),
+					BER:       s.ops[i].BER,
+					SNRdB:     float64(s.ops[i].SNRdB),
+					Airtime:   float64(s.ops[i].Airtime),
+					Delivered: s.ops[i].Delivered,
+				})
+			}
+			s.want = append(s.want, int32(want))
+		}
+	}
+	return dr.udp.Submit(s.ops)
+}
+
+// absorbUDP applies one answered batch: next rates, the chosen-rate
+// histogram, and the byte-identical check against the submit-time wants.
+func (dr *driver) absorbUDP(s *udpSlot, out []int32) bool {
+	for i, l := range s.batch {
+		l.rate = out[i]
+		if ri := out[i]; ri >= 0 && int(ri) < maxRates {
+			dr.res.rateCounts[ri]++
+		}
+		if dr.opt.verify && s.want[i] != out[i] {
+			dr.res.mismatch = fmt.Sprintf("algo %d link %d: server decided %d over udp, bare controller %d (op %+v)",
+				l.algo, l.id, out[i], s.want[i], s.ops[i])
+			return false
+		}
+	}
+	return true
+}
+
+// prewarmUDP is prewarm over the datagram transport. A dropped response
+// still warms the server side (the request arrived and was applied), so
+// the pass completes regardless of injected loss.
+func (dr *driver) prewarmUDP() bool {
+	s := udpSlot{
+		bb:    batchBuilder{links: dr.links},
+		ops:   make([]linkstore.Op, 0, dr.opt.batch),
+		batch: make([]*link, 0, dr.opt.batch),
+		out:   make([]int32, dr.opt.batch),
+	}
+	for remaining := len(dr.links); remaining > 0; {
+		s.ops, s.batch = s.bb.fill(min(dr.opt.batch, remaining), time.Now(), s.ops, s.batch)
+		if len(s.ops) == 0 {
+			break // every remaining link is idle-gapped or exhausted
+		}
+		p, err := dr.submitUDP(&s)
+		if err != nil {
+			dr.res.err = err
+			return false
+		}
+		out, ok, err := dr.udp.Wait(p, s.out)
+		if err != nil {
+			dr.res.err = err
+			return false
+		}
+		if ok && !dr.absorbUDP(&s, out) {
+			return false
+		}
+		remaining -= len(s.ops)
+	}
+	dr.res.decisions = 0
+	dr.res.lat = stats.Histogram{}
+	dr.res.rateCounts = [maxRates]uint64{}
+	return true
+}
+
+// runUDP keeps up to -pipeline datagram batches in flight (cohort
+// partitioning as in runPipelined, so per-link feedback order is
+// preserved). A timed-out batch is a lost decision: its cohort's links
+// keep their current rates and the loop moves on — loss does not poison
+// the client, does not end the run, and (with -verify) every response
+// that does arrive is still checked byte-for-byte.
+func (dr *driver) runUDP(stop *atomic.Bool) clientResult {
+	depth := dr.opt.pipeline
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > len(dr.links) {
+		depth = len(dr.links)
+	}
+	slots := make([]udpSlot, depth)
+	for i := range slots {
+		slots[i].ops = make([]linkstore.Op, 0, dr.opt.batch)
+		slots[i].batch = make([]*link, 0, dr.opt.batch)
+		slots[i].out = make([]int32, dr.opt.batch)
+	}
+	for i, l := range dr.links {
+		s := &slots[i%depth]
+		s.bb.links = append(s.bb.links, l)
+	}
+	queue := make([]int, 0, depth) // busy slots in submission order
+	for {
+		stopped := stop.Load()
+		if !stopped {
+			for si := range slots {
+				s := &slots[si]
+				if s.busy {
+					continue
+				}
+				s.ops, s.batch = s.bb.fill(dr.opt.batch, time.Now(), s.ops, s.batch)
+				if len(s.ops) == 0 {
+					continue // cohort fully idle right now
+				}
+				t0 := time.Now()
+				p, err := dr.submitUDP(s)
+				if err != nil {
+					dr.res.err = err
+					return dr.res
+				}
+				s.p, s.t0, s.busy = p, t0, true
+				queue = append(queue, si)
+			}
+		}
+		if len(queue) == 0 {
+			if stopped {
+				return dr.res
+			}
+			time.Sleep(time.Millisecond) // every cohort is idle-gapped
+			continue
+		}
+		si := queue[0]
+		queue = append(queue[:0], queue[1:]...)
+		s := &slots[si]
+		out, ok, err := dr.udp.Wait(s.p, s.out)
+		if err != nil {
+			dr.res.err = err
+			return dr.res
+		}
+		if ok {
+			dr.res.lat.Observe(time.Since(s.t0))
+			dr.res.decisions += uint64(len(s.ops))
+			if !dr.absorbUDP(s, out) {
+				return dr.res
+			}
 		}
 		s.busy = false
 	}

@@ -43,6 +43,7 @@ import (
 	"softrate/internal/linkstore"
 	"softrate/internal/obs"
 	"softrate/internal/server"
+	"softrate/internal/server/shmring"
 )
 
 func main() {
@@ -57,6 +58,10 @@ func main() {
 		workers     = flag.Int("batch-workers", 0, "fan each batch's shard visits across this many goroutines (<=1 = sequential; decisions are byte-identical either way)")
 		adminAddr   = flag.String("admin", "", "serve the HTTP ops plane on this address (/statusz /metrics /healthz /drainz /debug/pprof); empty = off")
 		drainGrace  = flag.Duration("drain-grace", 5*time.Second, "graceful-drain deadline: how long /drainz or SIGINT/SIGTERM waits for in-flight connections before force-closing")
+		udpAddr     = flag.String("udp", "", "also serve the loss-tolerant UDP datagram transport on this address; empty = off")
+		shmPath     = flag.String("shm", "", "also serve the shared-memory ring transport: create region files at this path (ring i > 0 appends .i) for co-located clients; empty = off")
+		shmRings    = flag.Int("shm-rings", 1, "shm region files to create (one co-located client per ring)")
+		shmBytes    = flag.Int("shm-ring-bytes", shmring.DefaultCapacity, "per-ring capacity in bytes (power of two)")
 	)
 	flag.Parse()
 
@@ -101,8 +106,52 @@ func main() {
 		}()
 	}
 
-	done := make(chan error, 1)
+	done := make(chan error, 4)
 	go func() { done <- srv.Serve(l) }()
+
+	if *udpAddr != "" {
+		uaddr, err := net.ResolveUDPAddr("udp", *udpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		uconn, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "softrated: udp on %s (burst %d)\n", uconn.LocalAddr(), server.BurstSize)
+		go func() { done <- srv.ServeUDP(uconn) }()
+	}
+
+	var ringFiles []string
+	if *shmPath != "" {
+		if *shmRings < 1 {
+			*shmRings = 1
+		}
+		regions := make([]*shmring.Region, *shmRings)
+		for i := range regions {
+			p := server.RingPath(*shmPath, i)
+			g, err := shmring.Create(p, *shmBytes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer g.Close()
+			regions[i] = g
+			ringFiles = append(ringFiles, p)
+		}
+		fmt.Fprintf(os.Stderr, "softrated: shm rings at %s (%d rings, %d bytes each)\n", *shmPath, *shmRings, *shmBytes)
+		go func() { done <- srv.ServeSHM(regions) }()
+	}
+	// The server owns the region files: unlink them on the way out so a
+	// stale region can never be attached to a dead server.
+	removeRings := func() {
+		for _, p := range ringFiles {
+			os.Remove(p)
+		}
+	}
+	defer removeRings()
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -125,7 +174,7 @@ func main() {
 			// at the deadline anyway.
 			fmt.Fprintf(os.Stderr, "softrated: draining (grace %v)\n", *drainGrace)
 			srv.Drain(*drainGrace)
-			<-done
+			<-done // Drain already waited out every serve loop; collect one exit
 			finalSnapshot(srv)
 			return
 		case err := <-done:
@@ -133,8 +182,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			// Serve returns nil when a drain (via /drainz) closed the
-			// listener; dump the same final snapshot as the signal path.
+			// A serve loop returns nil when a drain (via /drainz) wound it
+			// down; make sure the remaining transports are down too, then
+			// dump the same final snapshot as the signal path.
+			srv.Close()
 			finalSnapshot(srv)
 			return
 		}
@@ -146,7 +197,15 @@ func main() {
 // in the log.
 func finalSnapshot(srv *server.Server) {
 	printStats(srv.Stats())
-	blob, err := json.Marshal(srv.Status())
+	st := srv.Status()
+	// Per-transport breakdown: which transport carried the traffic, and
+	// how well the datagram burst loops amortized (rx/bursts).
+	fmt.Fprintf(os.Stderr,
+		"softrated: transports | tcp reqs v1=%d v2=%d v3=%d conns=%d | udp rx=%d tx=%d bursts=%d drops=%d | shm rx=%d tx=%d bursts=%d drops=%d rings=%d\n",
+		st.Transport.RequestsV1, st.Transport.RequestsV2, st.Transport.RequestsV3, st.Transport.ConnsAccepted,
+		st.UDP.DatagramsRx, st.UDP.DatagramsTx, st.UDP.Bursts, st.UDP.Drops,
+		st.SHM.DatagramsRx, st.SHM.DatagramsTx, st.SHM.Bursts, st.SHM.Drops, st.SHM.RingsAttached)
+	blob, err := json.Marshal(st)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "softrated: final snapshot:", err)
 		return

@@ -46,6 +46,11 @@ type Record struct {
 	// CI runner (or vice versa).
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	// Transport names the transport dimension the run measured
+	// ("in-process", "tcp-loopback", "udp-loopback", "shm", ...; empty for
+	// tools without one). Gate only compares records with the same
+	// transport — a shm number must never gate a UDP run.
+	Transport string `json:"transport,omitempty"`
 	// Metrics are the run's named measurements.
 	Metrics map[string]float64 `json:"metrics"`
 }
@@ -146,20 +151,26 @@ type CompareResult struct {
 	Pass  bool
 }
 
-// Gate compares the newest record for tool in recs against the median of
-// the earlier records with the same tool and the same NumCPU. A metric
-// passes when current >= minRatio*median, or when no comparable history
-// holds that metric. metrics selects the gated keys; empty gates every
-// key in the newest record (sorted for stable output). The error is
-// non-nil only when recs holds no record for tool at all.
-func Gate(recs []Record, tool string, metrics []string, minRatio float64) ([]CompareResult, error) {
+// Gate compares the newest record for (tool, transport) in recs against
+// the median of the earlier records with the same tool, transport and
+// NumCPU. transport == "" selects the newest record for tool regardless
+// of transport, then matches history against that record's transport —
+// so single-transport tools gate exactly as before. A metric passes when
+// current >= minRatio*median, or when no comparable history holds that
+// metric. metrics selects the gated keys; empty gates every key in the
+// newest record (sorted for stable output). The error is non-nil only
+// when recs holds no matching record at all.
+func Gate(recs []Record, tool, transport string, metrics []string, minRatio float64) ([]CompareResult, error) {
 	latest := -1
 	for i := range recs {
-		if recs[i].Tool == tool {
+		if recs[i].Tool == tool && (transport == "" || recs[i].Transport == transport) {
 			latest = i
 		}
 	}
 	if latest < 0 {
+		if transport != "" {
+			return nil, fmt.Errorf("no %q records for transport %q in trend history", tool, transport)
+		}
 		return nil, fmt.Errorf("no %q records in trend history", tool)
 	}
 	cur := recs[latest]
@@ -175,7 +186,7 @@ func Gate(recs []Record, tool string, metrics []string, minRatio float64) ([]Com
 		var hist []float64
 		for i := 0; i < latest; i++ {
 			r := &recs[i]
-			if r.Tool != tool || r.NumCPU != cur.NumCPU {
+			if r.Tool != tool || r.Transport != cur.Transport || r.NumCPU != cur.NumCPU {
 				continue
 			}
 			if v, ok := r.Metrics[m]; ok {

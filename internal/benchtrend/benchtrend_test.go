@@ -78,7 +78,7 @@ func TestGateMedianAndThreshold(t *testing.T) {
 		rec("loadgen", 8, m(1)),                          // other host shape: ignored
 		rec("loadgen", 4, m(60)),                         // newest = current run
 	}
-	res, err := Gate(recs, "loadgen", []string{"dps"}, 0.5)
+	res, err := Gate(recs, "loadgen", "", []string{"dps"}, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestGateMedianAndThreshold(t *testing.T) {
 	if !r.Pass || r.Ratio != 0.6 {
 		t.Fatalf("60 vs median 100 at minRatio 0.5 should pass with ratio 0.6: %+v", r)
 	}
-	res, err = Gate(recs, "loadgen", []string{"dps"}, 0.7)
+	res, err = Gate(recs, "loadgen", "", []string{"dps"}, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,14 +100,56 @@ func TestGateMedianAndThreshold(t *testing.T) {
 
 func TestGateVacuousWithoutHistory(t *testing.T) {
 	recs := []Record{rec("loadgen", 4, map[string]float64{"dps": 5})}
-	res, err := Gate(recs, "loadgen", nil, 0.9)
+	res, err := Gate(recs, "loadgen", "", nil, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != 1 || !res[0].Pass || res[0].Samples != 0 {
 		t.Fatalf("first-ever record must pass vacuously: %+v", res)
 	}
-	if _, err := Gate(recs, "simbench", nil, 0.9); err == nil {
+	if _, err := Gate(recs, "simbench", "", nil, 0.9); err == nil {
 		t.Fatal("Gate found a simbench record where none exists")
+	}
+}
+
+func trec(tool, transport string, cpus int, metrics map[string]float64) Record {
+	r := rec(tool, cpus, metrics)
+	r.Transport = transport
+	return r
+}
+
+func TestGateMatchesTransport(t *testing.T) {
+	m := func(v float64) map[string]float64 { return map[string]float64{"dps": v} }
+	recs := []Record{
+		trec("loadgen", "udp-loopback", 4, m(100)),
+		trec("loadgen", "shm", 4, m(1000)), // other transport: must not gate UDP
+		trec("loadgen", "udp-loopback", 4, m(200)),
+		trec("loadgen", "shm", 4, m(900)),
+		trec("loadgen", "udp-loopback", 4, m(90)), // newest UDP = current run
+	}
+	res, err := Gate(recs, "loadgen", "udp-loopback", []string{"dps"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Samples != 2 || r.Median != 150 {
+		t.Fatalf("history must hold only udp-loopback records: %+v (want 2 samples, median 150)", r)
+	}
+	if !r.Pass {
+		t.Fatalf("90 vs udp median 150 at 0.5 should pass (against the shm median 950 it would not): %+v", r)
+	}
+
+	// Empty transport selects the newest record overall, then matches its
+	// transport — here the newest is udp-loopback.
+	res, err = Gate(recs, "loadgen", "", []string{"dps"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Samples != 2 || res[0].Median != 150 {
+		t.Fatalf("empty transport must inherit the newest record's transport: %+v", res[0])
+	}
+
+	if _, err := Gate(recs, "loadgen", "tcp-loopback", []string{"dps"}, 0.5); err == nil {
+		t.Fatal("Gate found a tcp-loopback record where none exists")
 	}
 }

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"net/netip"
+
+	"softrate/internal/linkstore"
+	"softrate/internal/obs"
+)
+
+// The burst engine is the shared core of the datagram transports (udp.go,
+// shm.go): gather up to BurstSize self-contained request payloads, route
+// every decoded record into ONE Server.Decide — so the whole burst pays
+// the shard-routing and lock cost once, the amortization the pipelined
+// TCP path only gets from a deep client window — then build all the
+// response datagrams back-to-back. A malformed payload is dropped (no
+// response, one counter bump) without touching the rest of its burst;
+// decisions for the well-formed payloads are byte-identical to serving
+// each alone. All buffers are reused, so a warm engine processes bursts
+// with zero allocations even with metrics on.
+
+const (
+	// MaxDatagram is the largest request payload the datagram transports
+	// accept (covers the IPv4 UDP maximum; also the shm message bound).
+	MaxDatagram = 64 << 10
+	// BurstSize is the most payloads one burst drains before deciding.
+	BurstSize = 32
+	// burstBucketCount sizes the burst-size histogram: power-of-two
+	// buckets <=1, <=2, <=4, <=8, <=16, <=32.
+	burstBucketCount = 6
+)
+
+// dgramState holds one datagram transport's counters. Recording is one
+// atomic per datagram or per burst — never per record.
+type dgramState struct {
+	rx     obs.Counter // datagrams received (well-formed or not)
+	tx     obs.Counter // response datagrams written
+	bursts obs.Counter // burst loop iterations that served >= 1 datagram
+	drops  obs.Counter // malformed datagrams dropped without a response
+	txErrs obs.Counter // responses the transport failed to write
+
+	reqV1, reqV2, reqV3 obs.Counter // request payloads by framing version
+
+	burstBuckets [burstBucketCount]obs.Counter // burst sizes, power-of-two
+
+	ringsAttached obs.Gauge // shm only: rings with a live client
+}
+
+// burstBucket maps a burst size in [1, BurstSize] to its histogram slot.
+func burstBucket(n int) int {
+	b := bits.Len(uint(n - 1)) // 1→0, 2→1, 3-4→2, 5-8→3, 9-16→4, 17-32→5
+	if b >= burstBucketCount {
+		b = burstBucketCount - 1
+	}
+	return b
+}
+
+// dgram is one request payload of a burst.
+type dgram struct {
+	reqID  uint32
+	tagged bool
+	ok     bool // decoded cleanly; gets a response
+	// Op range in the engine's burst-wide ops slice.
+	opStart, opEnd int32
+	// Response span in the engine's burst-wide response buffer.
+	respStart, respEnd int32
+	// Transport tags: the UDP loop stores the peer address, the shm loop
+	// the ring index. The engine itself never reads either.
+	addr netip.AddrPort
+	ring int
+}
+
+// burstEngine accumulates one burst. Not safe for concurrent use; each
+// transport loop owns one.
+type burstEngine struct {
+	s  *Server
+	st *dgramState
+	n  int
+	dg [BurstSize]dgram
+
+	ops  []linkstore.Op
+	out  []int32
+	resp []byte
+}
+
+func newBurstEngine(s *Server, st *dgramState) *burstEngine {
+	return &burstEngine{s: s, st: st}
+}
+
+// reset starts a new burst.
+func (e *burstEngine) reset() {
+	e.n = 0
+	e.ops = e.ops[:0]
+}
+
+// add decodes one request payload into the burst and returns its slot (so
+// the transport can tag it with an address or ring index). A payload that
+// fails to decode is counted in drops and marked not-ok: it gets no
+// response and contributes no ops, and the rest of the burst is
+// unaffected. The payload bytes are fully consumed here — the caller may
+// reuse or unmap them as soon as add returns.
+func (e *burstEngine) add(payload []byte) *dgram {
+	d := &e.dg[e.n]
+	e.n++
+	start := int32(len(e.ops))
+	*d = dgram{opStart: start}
+	e.st.rx.Inc()
+	ops, reqID, tagged, err := appendDecodeRequest(payload, e.ops)
+	e.ops = ops // keep grown capacity even when the decode failed midway
+	if err != nil {
+		e.ops = e.ops[:start]
+		e.st.drops.Inc()
+		return d
+	}
+	d.reqID, d.tagged, d.ok = reqID, tagged, true
+	d.opEnd = int32(len(e.ops))
+	switch {
+	case tagged:
+		e.st.reqV3.Inc()
+	case len(payload)%RecordSize == 0:
+		e.st.reqV1.Inc()
+	default:
+		e.st.reqV2.Inc()
+	}
+	return d
+}
+
+// finish decides the whole burst in one Decide and builds every response
+// payload. After finish, response(d) returns each ok datagram's response
+// bytes (valid until the next reset).
+func (e *burstEngine) finish() {
+	if e.n == 0 {
+		return
+	}
+	e.st.bursts.Inc()
+	e.st.burstBuckets[burstBucket(e.n)].Inc()
+	total := len(e.ops)
+	if cap(e.out) < total {
+		e.out = make([]int32, total)
+	}
+	out := e.out[:total]
+	if total > 0 {
+		e.s.Decide(e.ops, out)
+	}
+	e.resp = e.resp[:0]
+	for i := 0; i < e.n; i++ {
+		d := &e.dg[i]
+		if !d.ok {
+			continue
+		}
+		n := int(d.opEnd - d.opStart)
+		d.respStart = int32(len(e.resp))
+		var hdr [8]byte
+		if d.tagged {
+			binary.LittleEndian.PutUint32(hdr[0:4], d.reqID)
+			binary.LittleEndian.PutUint32(hdr[4:8], uint32(n))
+			e.resp = append(e.resp, hdr[:8]...)
+		} else {
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+			e.resp = append(e.resp, hdr[:4]...)
+		}
+		for _, ri := range out[d.opStart:d.opEnd] {
+			e.resp = append(e.resp, uint8(ri))
+		}
+		d.respEnd = int32(len(e.resp))
+	}
+}
+
+// dgrams returns the burst's slots (valid until the next reset).
+func (e *burstEngine) dgrams() []dgram { return e.dg[:e.n] }
+
+// response returns d's encoded response (valid until the next reset).
+func (e *burstEngine) response(d *dgram) []byte { return e.resp[d.respStart:d.respEnd] }

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"softrate/internal/core"
+	"softrate/internal/ctl"
+	"softrate/internal/linkstore"
+)
+
+func TestBurstBucket(t *testing.T) {
+	want := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 32: 5}
+	for n, b := range want {
+		if got := burstBucket(n); got != b {
+			t.Errorf("burstBucket(%d) = %d, want %d", n, got, b)
+		}
+	}
+}
+
+// packDatagrams encodes payloads in the fuzz corpus shape consumed by
+// FuzzServeDatagrams: [u16 len][payload] repeated.
+func packDatagrams(payloads ...[]byte) []byte {
+	var b []byte
+	for _, p := range payloads {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p)))
+		b = append(b, p...)
+	}
+	return b
+}
+
+// FuzzServeDatagrams throws arbitrary datagram bursts at the burst
+// engine — the shared core of the UDP and shm transports. The input is
+// split into up to BurstSize payloads ([u16 len][bytes] framing), which
+// covers bad version bytes, truncated records, and duplicate/stale seq
+// values by construction. Properties on every burst:
+//
+//   - the engine never panics and never desyncs: exactly the payloads
+//     that decode cleanly are marked ok and get a response, malformed
+//     ones only bump the drop counter;
+//   - every ok payload's response is byte-identical to an in-process
+//     replay: a mirror server fed the same payloads one DecodeRequest +
+//     one Decide at a time produces the same seq echo, count, and rates
+//     — batching a burst into one Decide is unobservable;
+//   - counters add up (rx = payload count, drops = malformed count,
+//     version counters = well-formed count).
+func FuzzServeDatagrams(f *testing.F) {
+	v1 := AppendOps(nil, []linkstore.Op{{LinkID: 1, Kind: core.KindBER, RateIndex: 3, BER: 1e-5}})
+	v2 := AppendOpsV2(nil, []linkstore.Op{{LinkID: 2, Algo: ctl.AlgoRRAA, Kind: core.KindBER, BER: 1e-4, SNRdB: 11}})
+	v3 := AppendOpsV3(nil, 7, []linkstore.Op{
+		{LinkID: 3, Algo: ctl.AlgoSampleRate, Kind: core.KindBER, RateIndex: 2, BER: 1e-6, Airtime: 5e-4, Delivered: true},
+		{LinkID: 4, Kind: core.KindSilentLoss},
+	})
+	dup := AppendOpsV3(nil, 7, []linkstore.Op{{LinkID: 3, Kind: core.KindPostamble, RateIndex: 1}})
+	f.Add(packDatagrams(v3, v1, v2))
+	f.Add(packDatagrams(v3, dup, v3))            // duplicate/stale seq in one burst
+	f.Add(packDatagrams(v3[:len(v3)-1], v3))     // truncated v3 record beside a good one
+	f.Add(packDatagrams([]byte{0x7f, 0, 0}, v1)) // bad version byte
+	f.Add(packDatagrams(nil, v2, []byte{VersionV3}))
+	f.Add(packDatagrams(bytes.Repeat([]byte{0xff}, RecordSize)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(Config{Store: linkstore.Config{Shards: 4}})
+		mirror := New(Config{Store: linkstore.Config{Shards: 4}})
+		var payloads [][]byte
+		for len(data) >= 2 && len(payloads) < BurstSize {
+			n := int(binary.LittleEndian.Uint16(data[:2])) % 1024
+			data = data[2:]
+			if n > len(data) {
+				n = len(data)
+			}
+			payloads = append(payloads, data[:n])
+			data = data[n:]
+		}
+
+		eng := newBurstEngine(srv, &srv.udp)
+		eng.reset()
+		for _, p := range payloads {
+			eng.add(p)
+		}
+		eng.finish()
+
+		dgs := eng.dgrams()
+		if len(dgs) != len(payloads) {
+			t.Fatalf("%d slots for %d payloads", len(dgs), len(payloads))
+		}
+		var out []int32
+		wellFormed, malformed := 0, 0
+		for i := range dgs {
+			d := &dgs[i]
+			ops, reqID, tagged, err := DecodeRequest(payloads[i], nil)
+			if (err == nil) != d.ok {
+				t.Fatalf("payload %d (%d bytes): engine ok=%v, DecodeRequest err=%v", i, len(payloads[i]), d.ok, err)
+			}
+			if err != nil {
+				malformed++
+				continue
+			}
+			wellFormed++
+			if cap(out) < len(ops) {
+				out = make([]int32, len(ops))
+			}
+			mirror.Decide(ops, out[:len(ops)])
+			want := make([]byte, 0, 8+len(ops))
+			if tagged {
+				want = binary.LittleEndian.AppendUint32(want, reqID)
+			}
+			want = binary.LittleEndian.AppendUint32(want, uint32(len(ops)))
+			for _, ri := range out[:len(ops)] {
+				want = append(want, uint8(ri))
+			}
+			if got := eng.response(d); !bytes.Equal(got, want) {
+				t.Fatalf("payload %d: burst response %x != in-process replay %x", i, got, want)
+			}
+		}
+		st := srv.udp.status()
+		if int(st.DatagramsRx) != len(payloads) || int(st.Drops) != malformed {
+			t.Fatalf("counters rx=%d drops=%d, want rx=%d drops=%d", st.DatagramsRx, st.Drops, len(payloads), malformed)
+		}
+		if got := int(st.RequestsV1 + st.RequestsV2 + st.RequestsV3); got != wellFormed {
+			t.Fatalf("version counters sum to %d, want %d well-formed", got, wellFormed)
+		}
+	})
+}
+
+// TestBurstEngineZeroAlloc pins the tentpole perf property: a warm burst
+// engine — metrics on, full BurstSize bursts — runs reset/add/finish and
+// reads back every response without a single allocation.
+func TestBurstEngineZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are meaningless under -race")
+	}
+	srv := New(Config{Store: linkstore.Config{Shards: 8}})
+	eng := newBurstEngine(srv, &srv.udp)
+
+	rng := rand.New(rand.NewSource(42))
+	payloads := make([][]byte, BurstSize)
+	for i := range payloads {
+		ops := randOps(rng, 48, 200)
+		payloads[i] = AppendOpsV3(nil, uint32(i), ops)
+	}
+	burst := func() {
+		eng.reset()
+		for _, p := range payloads {
+			eng.add(p)
+		}
+		eng.finish()
+		for i := range eng.dgrams() {
+			d := &eng.dgrams()[i]
+			if !d.ok {
+				t.Fatal("a pre-encoded payload failed to decode")
+			}
+			if len(eng.response(d)) == 0 {
+				t.Fatal("empty response")
+			}
+		}
+	}
+	burst() // warm: size the reusable buffers, populate the link store
+	if allocs := testing.AllocsPerRun(50, burst); allocs != 0 {
+		t.Fatalf("warm burst path allocated %.1f times per burst, want 0", allocs)
+	}
+}

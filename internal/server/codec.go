@@ -144,10 +144,10 @@ func appendRecordsV2(buf []byte, ops []linkstore.Op) []byte {
 // Algo = ctl.AlgoDefault, SNRdB = NaN, Airtime = 0 and Delivered = false.
 func DecodeBatch(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 	if len(payload)%RecordSize == 0 {
-		return decodeV1(payload, dst)
+		return decodeV1(payload, dst[:0])
 	}
 	if payload[0] == VersionV2 && (len(payload)-1)%RecordSizeV2 == 0 {
-		return decodeV2(payload[1:], dst)
+		return decodeV2(payload[1:], dst[:0])
 	}
 	return nil, fmt.Errorf("server: payload length %d is neither v1 (multiple of %d) nor v2 (1+multiple of %d with version byte)",
 		len(payload), RecordSize, RecordSizeV2)
@@ -166,28 +166,50 @@ func DecodeOps(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 // comment), so the dispatch is unambiguous.
 func DecodeRequest(payload []byte, dst []linkstore.Op) (ops []linkstore.Op, reqID uint32, tagged bool, err error) {
 	if len(payload) >= headerSizeV3 && payload[0] == VersionV3 && (len(payload)-headerSizeV3)%RecordSizeV2 == 0 {
-		ops, err = decodeV2(payload[headerSizeV3:], dst)
+		ops, err = decodeV2(payload[headerSizeV3:], dst[:0])
 		return ops, binary.LittleEndian.Uint32(payload[1:5]), true, err
 	}
 	ops, err = DecodeBatch(payload, dst)
 	return ops, 0, false, err
 }
 
+// appendDecodeRequest is DecodeRequest in append form: decoded records
+// land after dst's existing contents instead of replacing them. The burst
+// transports (udp.go, shm.go) use it to gather a whole burst of
+// independent datagrams into one ops slice for a single ApplyBatch; the
+// MaxBatch bound still applies per payload, not to the accumulated slice.
+func appendDecodeRequest(payload []byte, dst []linkstore.Op) (ops []linkstore.Op, reqID uint32, tagged bool, err error) {
+	if len(payload) >= headerSizeV3 && payload[0] == VersionV3 && (len(payload)-headerSizeV3)%RecordSizeV2 == 0 {
+		ops, err = decodeV2(payload[headerSizeV3:], dst)
+		return ops, binary.LittleEndian.Uint32(payload[1:5]), true, err
+	}
+	if len(payload)%RecordSize == 0 {
+		ops, err = decodeV1(payload, dst)
+		return ops, 0, false, err
+	}
+	if payload[0] == VersionV2 && (len(payload)-1)%RecordSizeV2 == 0 {
+		ops, err = decodeV2(payload[1:], dst)
+		return ops, 0, false, err
+	}
+	return dst, 0, false, fmt.Errorf("server: payload length %d matches no framing version", len(payload))
+}
+
+// decodeV1 and decodeV2 append decoded records to dst; whole-payload
+// entry points pass dst[:0].
 func decodeV1(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 	n := len(payload) / RecordSize
 	if n > MaxBatch {
-		return nil, fmt.Errorf("server: batch of %d records exceeds the maximum %d", n, MaxBatch)
+		return dst, fmt.Errorf("server: batch of %d records exceeds the maximum %d", n, MaxBatch)
 	}
-	dst = dst[:0]
 	for i := 0; i < n; i++ {
 		rec := payload[i*RecordSize : (i+1)*RecordSize]
 		kind := core.FeedbackKind(rec[8])
 		if kind >= core.NumKinds {
-			return nil, fmt.Errorf("server: record %d: unknown feedback kind %d", i, rec[8])
+			return dst, fmt.Errorf("server: record %d: unknown feedback kind %d", i, rec[8])
 		}
 		ber := math.Float64frombits(binary.LittleEndian.Uint64(rec[10:18]))
 		if math.IsNaN(ber) || math.IsInf(ber, 0) || ber < 0 {
-			return nil, fmt.Errorf("server: record %d: invalid BER %v", i, ber)
+			return dst, fmt.Errorf("server: record %d: invalid BER %v", i, ber)
 		}
 		dst = append(dst, linkstore.Op{
 			LinkID:    binary.LittleEndian.Uint64(rec[0:8]),
@@ -203,35 +225,34 @@ func decodeV1(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 func decodeV2(payload []byte, dst []linkstore.Op) ([]linkstore.Op, error) {
 	n := len(payload) / RecordSizeV2
 	if n > MaxBatch {
-		return nil, fmt.Errorf("server: batch of %d records exceeds the maximum %d", n, MaxBatch)
+		return dst, fmt.Errorf("server: batch of %d records exceeds the maximum %d", n, MaxBatch)
 	}
-	dst = dst[:0]
 	for i := 0; i < n; i++ {
 		rec := payload[i*RecordSizeV2 : (i+1)*RecordSizeV2]
 		algo := ctl.Algo(rec[8])
 		if algo != ctl.AlgoDefault {
 			if _, ok := ctl.Lookup(algo); !ok {
-				return nil, fmt.Errorf("server: record %d: unknown algorithm %d", i, rec[8])
+				return dst, fmt.Errorf("server: record %d: unknown algorithm %d", i, rec[8])
 			}
 		}
 		kind := core.FeedbackKind(rec[9])
 		if kind >= core.NumKinds {
-			return nil, fmt.Errorf("server: record %d: unknown feedback kind %d", i, rec[9])
+			return dst, fmt.Errorf("server: record %d: unknown feedback kind %d", i, rec[9])
 		}
 		if rec[11]&^flagDelivered != 0 {
-			return nil, fmt.Errorf("server: record %d: unknown flags %#x", i, rec[11])
+			return dst, fmt.Errorf("server: record %d: unknown flags %#x", i, rec[11])
 		}
 		ber := math.Float64frombits(binary.LittleEndian.Uint64(rec[12:20]))
 		if math.IsNaN(ber) || math.IsInf(ber, 0) || ber < 0 {
-			return nil, fmt.Errorf("server: record %d: invalid BER %v", i, ber)
+			return dst, fmt.Errorf("server: record %d: invalid BER %v", i, ber)
 		}
 		airtime := math.Float32frombits(binary.LittleEndian.Uint32(rec[20:24]))
 		if airtime != airtime || math.IsInf(float64(airtime), 0) || airtime < 0 {
-			return nil, fmt.Errorf("server: record %d: invalid airtime %v", i, airtime)
+			return dst, fmt.Errorf("server: record %d: invalid airtime %v", i, airtime)
 		}
 		snr := math.Float32frombits(binary.LittleEndian.Uint32(rec[24:28]))
 		if math.IsInf(float64(snr), 0) {
-			return nil, fmt.Errorf("server: record %d: invalid SNR %v", i, snr)
+			return dst, fmt.Errorf("server: record %d: invalid SNR %v", i, snr)
 		}
 		dst = append(dst, linkstore.Op{
 			LinkID:    binary.LittleEndian.Uint64(rec[0:8]),

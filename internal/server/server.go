@@ -78,6 +78,10 @@ type Server struct {
 	opLat       [maxAlgoSlots]obs.Latency
 
 	tcp tcpState
+	// Datagram transport counters (the lifecycle — conns, drain, stop —
+	// is shared in tcp; only the accounting is per transport).
+	udp dgramState
+	shm dgramState
 }
 
 // New builds a Server.

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"softrate/internal/core"
+	"softrate/internal/linkstore"
+	"softrate/internal/server/shmring"
+)
+
+// startSHM creates n ring regions under a temp prefix, serves them, and
+// returns the prefix for clients to dial.
+func startSHM(t *testing.T, srv *Server, n int) string {
+	t.Helper()
+	prefix := filepath.Join(t.TempDir(), "ring")
+	regions := make([]*shmring.Region, n)
+	for i := range regions {
+		g, err := shmring.Create(RingPath(prefix, i), shmring.MinCapacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions[i] = g
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeSHM(regions) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("ServeSHM: %v", err)
+		}
+		for _, g := range regions {
+			g.Close()
+		}
+	})
+	return prefix
+}
+
+func TestRingPath(t *testing.T) {
+	if p := RingPath("/x/ring", 0); p != "/x/ring" {
+		t.Fatalf("ring 0 path %q", p)
+	}
+	if p := RingPath("/x/ring", 3); p != "/x/ring.3" {
+		t.Fatalf("ring 3 path %q", p)
+	}
+}
+
+func TestSHMEndToEndMatchesInProcess(t *testing.T) {
+	remote := New(Config{Store: linkstore.Config{Shards: 32}})
+	local := New(Config{Store: linkstore.Config{Shards: 32}})
+	prefix := startSHM(t, remote, 1)
+
+	cli, err := DialSHM(prefix, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	got := make([]int32, 300)
+	want := make([]int32, 300)
+	for batch := 0; batch < 20; batch++ {
+		ops := randOps(rng, 300, 500)
+		res, err := cli.Decide(ops, got)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if len(res) != len(ops) {
+			t.Fatalf("batch %d: %d rates for %d ops", batch, len(res), len(ops))
+		}
+		local.Decide(ops, want)
+		for i := range ops {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d op %d: shm %d != in-process %d", batch, i, got[i], want[i])
+			}
+		}
+	}
+	if st := remote.Stats(); st.Frames != 300*20 {
+		t.Fatalf("remote served %d frames, want %d", st.Frames, 300*20)
+	}
+	if s := remote.Status(); s.SHM.DatagramsRx != 20 || s.SHM.RequestsV3 != 20 || s.SHM.Drops != 0 {
+		t.Fatalf("shm counters %+v, want 20 v3 messages and no drops", s.SHM)
+	}
+}
+
+// TestSHMPipelinedWaitOrderFree mirrors the TCP pipelining contract:
+// several batches in flight, Waits in reverse order, responses park in
+// their slots, everything byte-identical to an in-process mirror.
+func TestSHMPipelinedWaitOrderFree(t *testing.T) {
+	remote := New(Config{Store: linkstore.Config{Shards: 16}})
+	local := New(Config{Store: linkstore.Config{Shards: 16}})
+	prefix := startSHM(t, remote, 1)
+
+	const depth = 8
+	cli, err := DialSHM(prefix, depth, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	out := make([]int32, 64)
+	want := make([]int32, 64)
+	for round := 0; round < 20; round++ {
+		var batches [depth][]linkstore.Op
+		var pend [depth]*Pending
+		for s := 0; s < depth; s++ {
+			ops := randOps(rng, 64, 50)
+			for j := range ops {
+				ops[j].LinkID += uint64(s) * 1000 // disjoint cohorts per slot
+			}
+			p, err := cli.Submit(ops)
+			if err != nil {
+				t.Fatalf("round %d slot %d: %v", round, s, err)
+			}
+			batches[s], pend[s] = ops, p
+		}
+		for s := depth - 1; s >= 0; s-- { // reverse order: older responses park
+			res, err := cli.Wait(pend[s], out)
+			if err != nil {
+				t.Fatalf("round %d slot %d: %v", round, s, err)
+			}
+			local.Decide(batches[s], want)
+			for i := range res {
+				if res[i] != want[i] {
+					t.Fatalf("round %d slot %d op %d: shm %d != in-process %d", round, s, i, res[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSHMMultiRingConcurrentClients runs one client per ring from
+// separate goroutines, disjoint link cohorts, all against one serve
+// loop — the co-located many-process shape, in-process.
+func TestSHMMultiRingConcurrentClients(t *testing.T) {
+	srv := New(Config{Store: linkstore.Config{Shards: 16}})
+	const clients = 3
+	prefix := startSHM(t, srv, clients)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := DialSHM(RingPath(prefix, c), 2, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			rng := rand.New(rand.NewSource(int64(c)))
+			out := make([]int32, 64)
+			for i := 0; i < 50; i++ {
+				ops := randOps(rng, 64, 100)
+				for j := range ops {
+					ops[j].LinkID += uint64(c) * 1000
+				}
+				if _, err := cli.Decide(ops, out); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Frames != clients*50*64 {
+		t.Fatalf("served %d frames, want %d", st.Frames, clients*50*64)
+	}
+}
+
+// TestSHMAttachExclusiveAndReclaim: one client per ring, enforced by the
+// attach CAS; after a client closes, the serve loop reclaims the region
+// and a new client can take its place.
+func TestSHMAttachExclusiveAndReclaim(t *testing.T) {
+	srv := New(Config{Store: linkstore.Config{Shards: 4}})
+	prefix := startSHM(t, srv, 1)
+
+	cli, err := DialSHM(prefix, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialSHM(prefix, 1, 5*time.Second); err == nil {
+		t.Fatal("second DialSHM on a held ring succeeded")
+	}
+	out := make([]int32, 1)
+	if _, err := cli.Decide([]linkstore.Op{{LinkID: 1, Kind: core.KindSilentLoss}}, out); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	// The serve loop reclaims the region on its next sweep; a fresh
+	// client attaches once it has.
+	deadline := time.Now().Add(5 * time.Second)
+	var cli2 *SHMClient
+	for {
+		if cli2, err = DialSHM(prefix, 1, 5*time.Second); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never reclaimed: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer cli2.Close()
+	if _, err := cli2.Decide([]linkstore.Op{{LinkID: 2, Kind: core.KindSilentLoss}}, out); err != nil {
+		t.Fatalf("reclaimed ring does not serve: %v", err)
+	}
+}
+
+// TestSHMDrain: Drain answers what is already in the rings, the serve
+// loop exits, and the client's next Submit fails with ErrDraining.
+func TestSHMDrain(t *testing.T) {
+	srv := New(Config{Store: linkstore.Config{Shards: 4}})
+	prefix := filepath.Join(t.TempDir(), "ring")
+	g, err := shmring.Create(prefix, shmring.MinCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeSHM([]*shmring.Region{g}) }()
+
+	cli, err := DialSHM(prefix, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	out := make([]int32, 1)
+	if _, err := cli.Decide([]linkstore.Op{{LinkID: 1, Kind: core.KindBER, BER: 1e-5}}, out); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Drain(time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeSHM after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeSHM did not exit after Drain")
+	}
+	if _, err := cli.Submit([]linkstore.Op{{LinkID: 1, Kind: core.KindBER, BER: 1e-5}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Submit returned %v, want ErrDraining", err)
+	}
+	// And the poison is sticky, like the TCP client's.
+	if _, err := cli.Decide([]linkstore.Op{{LinkID: 1, Kind: core.KindSilentLoss}}, out); err == nil {
+		t.Fatal("client usable after ErrDraining poison")
+	}
+}
+
+// TestDialSHMRejectsGarbageFile: a non-region file is refused by header
+// validation, not attached to.
+func TestDialSHMRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notaring")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialSHM(path, 1, time.Second); err == nil {
+		t.Fatal("DialSHM accepted a garbage file")
+	}
+}

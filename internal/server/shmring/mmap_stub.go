@@ -1,0 +1,18 @@
+//go:build !unix
+
+package shmring
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrUnsupported is returned on platforms without MAP_SHARED mmap; the
+// shared-memory transport is unix-only and softrated refuses -shm there.
+var ErrUnsupported = errors.New("shmring: shared-memory rings are not supported on this platform")
+
+func mapShared(f *os.File, size int) ([]byte, error) {
+	return nil, ErrUnsupported
+}
+
+func unmap(mem []byte) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package shmring
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapShared maps size bytes of f shared and read-write: stores by either
+// process are visible to the other through the page cache.
+func mapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmap(mem []byte) error {
+	return syscall.Munmap(mem)
+}

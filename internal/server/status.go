@@ -61,6 +61,60 @@ type TransportStatus struct {
 	Draining bool `json:"draining"`
 }
 
+// DatagramStatus is a datagram transport's (UDP or shm) counter
+// snapshot. The same shape serves both: rx/tx/drops count datagrams (or
+// ring messages), bursts and the burst-size histogram describe how well
+// the burst loop is amortizing Decide calls, and RingsAttached is
+// meaningful only for shm.
+type DatagramStatus struct {
+	// DatagramsRx counts request payloads received (well-formed or not);
+	// DatagramsTx response payloads written.
+	DatagramsRx uint64 `json:"datagrams_rx"`
+	DatagramsTx uint64 `json:"datagrams_tx"`
+	// Bursts counts burst-loop iterations that served at least one
+	// datagram; BurstSizes histograms their sizes into power-of-two
+	// buckets (upper bounds as keys). DatagramsRx/Bursts is the mean
+	// amortization factor.
+	Bursts     uint64            `json:"bursts"`
+	BurstSizes map[string]uint64 `json:"burst_sizes"`
+	// Drops counts malformed request payloads dropped without a
+	// response; TxErrors responses the transport failed to write.
+	Drops    uint64 `json:"drops"`
+	TxErrors uint64 `json:"tx_errors"`
+	// RequestsV1/V2/V3 count well-formed request payloads by framing
+	// version.
+	RequestsV1 uint64 `json:"requests_v1"`
+	RequestsV2 uint64 `json:"requests_v2"`
+	RequestsV3 uint64 `json:"requests_v3"`
+	// RingsAttached is the number of shm rings with a live client (always
+	// 0 for UDP).
+	RingsAttached int64 `json:"rings_attached"`
+}
+
+// burstBucketLabels are the burst-size histogram's upper bounds, in
+// bucket order.
+var burstBucketLabels = [burstBucketCount]string{"1", "2", "4", "8", "16", "32"}
+
+// dgramStatus snapshots one datagram transport's counters.
+func (st *dgramState) status() DatagramStatus {
+	out := DatagramStatus{
+		DatagramsRx:   st.rx.Load(),
+		DatagramsTx:   st.tx.Load(),
+		Bursts:        st.bursts.Load(),
+		BurstSizes:    make(map[string]uint64, burstBucketCount),
+		Drops:         st.drops.Load(),
+		TxErrors:      st.txErrs.Load(),
+		RequestsV1:    st.reqV1.Load(),
+		RequestsV2:    st.reqV2.Load(),
+		RequestsV3:    st.reqV3.Load(),
+		RingsAttached: st.ringsAttached.Load(),
+	}
+	for i, label := range burstBucketLabels {
+		out.BurstSizes[label] = st.burstBuckets[i].Load()
+	}
+	return out
+}
+
 // Status is the full ops-plane snapshot served at /statusz.
 type Status struct {
 	// UptimeSec is seconds since the server was built.
@@ -77,8 +131,12 @@ type Status struct {
 	// churn in Store.Algos); PerShard is the per-shard breakdown.
 	Store    linkstore.Stats        `json:"store"`
 	PerShard []linkstore.ShardStats `json:"per_shard"`
-	// Transport is the TCP transport's counter snapshot.
+	// Transport is the TCP transport's counter snapshot; UDP and SHM the
+	// datagram transports' (request counters are per transport, so the
+	// three sections together break total traffic out by transport).
 	Transport TransportStatus `json:"transport"`
+	UDP       DatagramStatus  `json:"udp"`
+	SHM       DatagramStatus  `json:"shm"`
 }
 
 // slotName returns the metric label of a per-algorithm slot.
@@ -124,7 +182,35 @@ func (s *Server) Status() Status {
 	out.Store = s.store.Stats()
 	out.PerShard = s.store.PerShard()
 	out.Transport = s.transportStatus()
+	out.UDP = s.udp.status()
+	out.SHM = s.shm.status()
 	return out
+}
+
+// writeDatagramProm renders one datagram transport's snapshot under the
+// softrated_<transport>_* metric family names.
+func writeDatagramProm(w io.Writer, transport string, d *DatagramStatus) {
+	p := "softrated_" + transport
+	obs.PromCounter(w, p+"_datagrams_rx_total", "", transport+" request payloads received", d.DatagramsRx)
+	obs.PromCounter(w, p+"_datagrams_tx_total", "", transport+" response payloads written", d.DatagramsTx)
+	obs.PromCounter(w, p+"_bursts_total", "", transport+" burst-loop iterations serving >= 1 datagram", d.Bursts)
+	obs.PromHeader(w, p+"_burst_size", "histogram", transport+" datagrams per burst (power-of-two buckets)")
+	cum := uint64(0)
+	for _, label := range burstBucketLabels {
+		cum += d.BurstSizes[label]
+		obs.PromSample(w, p+"_burst_size_bucket", `le="`+label+`"`, float64(cum))
+	}
+	obs.PromSample(w, p+"_burst_size_bucket", `le="+Inf"`, float64(cum))
+	obs.PromSample(w, p+"_burst_size_count", "", float64(cum))
+	obs.PromCounter(w, p+"_drops_total", "", transport+" malformed payloads dropped without a response", d.Drops)
+	obs.PromCounter(w, p+"_tx_errors_total", "", transport+" responses the transport failed to write", d.TxErrors)
+	obs.PromHeader(w, p+"_requests_total", "counter", transport+" request payloads by wire framing version")
+	obs.PromSample(w, p+"_requests_total", `version="v1"`, float64(d.RequestsV1))
+	obs.PromSample(w, p+"_requests_total", `version="v2"`, float64(d.RequestsV2))
+	obs.PromSample(w, p+"_requests_total", `version="v3"`, float64(d.RequestsV3))
+	if transport == "shm" {
+		obs.PromGauge(w, p+"_rings_attached", "", "shm rings with a live client", float64(d.RingsAttached))
+	}
 }
 
 // WritePrometheus renders a Status snapshot as a Prometheus text
@@ -193,4 +279,7 @@ func (s *Server) WritePrometheus(w io.Writer) {
 		draining = 1
 	}
 	obs.PromGauge(w, "softrated_draining", "", "1 while a graceful drain is in progress or done", draining)
+
+	writeDatagramProm(w, "udp", &st.UDP)
+	writeDatagramProm(w, "shm", &st.SHM)
 }

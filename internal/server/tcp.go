@@ -46,6 +46,9 @@ type tcpState struct {
 	sweeping  bool
 	draining  atomic.Bool
 	wg        sync.WaitGroup
+	// loops counts serve loops that are not socket connections (the shm
+	// transport); Drain waits for them alongside conns.
+	loops int
 
 	// Transport counters (see TransportStatus for meanings). Recording is
 	// one atomic per event, off the per-record path: versions count per
@@ -185,7 +188,7 @@ func (s *Server) Drain(grace time.Duration) {
 
 	for time.Now().Before(deadline) {
 		s.tcp.mu.Lock()
-		n := len(s.tcp.conns)
+		n := len(s.tcp.conns) + s.tcp.loops
 		s.tcp.mu.Unlock()
 		if n == 0 {
 			break
