@@ -11,7 +11,13 @@
 // records from hosts with the same CPU count, and exits nonzero if any
 // gated metric fell below min-ratio x median. A run with no comparable
 // history passes vacuously (first run on a new host shape seeds the
-// history rather than failing it).
+// history rather than failing it). Lower-is-better metrics (resident
+// bytes, latency) gate with the direction flipped:
+//
+//	softrate-benchtrend -trend BENCH_TREND.jsonl -tool loadgen \
+//	    -metrics resident_bytes -lower-better -max-ratio 1.5
+//
+// fails when the newest value exceeds max-ratio x median.
 //
 //	softrate-benchtrend -trend BENCH_TREND.jsonl -list
 //
@@ -31,12 +37,14 @@ import (
 
 func main() {
 	var (
-		trend     = flag.String("trend", "BENCH_TREND.jsonl", "trend ledger to read")
-		tool      = flag.String("tool", "", "gate this tool's newest record (loadgen | simbench)")
-		transport = flag.String("transport", "", "gate only records with this transport dimension (in-process | tcp-loopback | udp-loopback | shm | ...); empty = the newest record's transport")
-		metrics   = flag.String("metrics", "", "comma list of metric keys to gate (empty = every key in the newest record; gated keys must be higher-is-better)")
-		minRatio  = flag.Float64("min-ratio", 0.5, "fail when current < min-ratio x NumCPU-matched historical median")
-		list      = flag.Bool("list", false, "print every record and exit")
+		trend       = flag.String("trend", "BENCH_TREND.jsonl", "trend ledger to read")
+		tool        = flag.String("tool", "", "gate this tool's newest record (loadgen | simbench)")
+		transport   = flag.String("transport", "", "gate only records with this transport dimension (in-process | tcp-loopback | udp-loopback | shm | ...); empty = the newest record's transport")
+		metrics     = flag.String("metrics", "", "comma list of metric keys to gate (empty = every key in the newest record; gated keys must all share one direction)")
+		minRatio    = flag.Float64("min-ratio", 0.5, "fail when current < min-ratio x NumCPU-matched historical median")
+		lowerBetter = flag.Bool("lower-better", false, "gate lower-is-better metrics (resident bytes, latency): fail when current > max-ratio x median")
+		maxRatio    = flag.Float64("max-ratio", 1.5, "with -lower-better: fail when current > max-ratio x NumCPU-matched historical median")
+		list        = flag.Bool("list", false, "print every record and exit")
 	)
 	flag.Parse()
 
@@ -73,7 +81,14 @@ func main() {
 			}
 		}
 	}
-	results, err := benchtrend.Gate(recs, *tool, *transport, keys, *minRatio)
+	var results []benchtrend.CompareResult
+	bound, boundName := *minRatio, "floor"
+	if *lowerBetter {
+		bound, boundName = *maxRatio, "ceiling"
+		results, err = benchtrend.GateLower(recs, *tool, *transport, keys, *maxRatio)
+	} else {
+		results, err = benchtrend.Gate(recs, *tool, *transport, keys, *minRatio)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
@@ -88,8 +103,8 @@ func main() {
 		if !r.Pass {
 			verdict, failed = "FAIL", true
 		}
-		fmt.Printf("%s %-32s %.6g vs median %.6g over %d runs (ratio %.2f, floor %.2f)\n",
-			verdict, r.Metric, r.Current, r.Median, r.Samples, r.Ratio, *minRatio)
+		fmt.Printf("%s %-32s %.6g vs median %.6g over %d runs (ratio %.2f, %s %.2f)\n",
+			verdict, r.Metric, r.Current, r.Median, r.Samples, r.Ratio, boundName, bound)
 	}
 	if failed {
 		os.Exit(1)

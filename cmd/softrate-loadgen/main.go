@@ -53,6 +53,7 @@ import (
 
 	"softrate/internal/benchtrend"
 	"softrate/internal/channel"
+	"softrate/internal/coldstore"
 	"softrate/internal/core"
 	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
@@ -91,6 +92,14 @@ type options struct {
 	shmBytes   int
 	udpDrop    float64
 	udpTimeout time.Duration
+
+	coldLinks    int
+	hotFrac      float64
+	coldDir      string
+	coldFront    int
+	compactRatio float64
+	minSpills    uint64
+	micro        bool
 }
 
 func main() {
@@ -121,6 +130,13 @@ func main() {
 	flag.IntVar(&opt.shmBytes, "shm-ring-bytes", 0, "per-ring capacity for in-process/forked shm servers (0 = default)")
 	flag.Float64Var(&opt.udpDrop, "udp-drop", 0, "UDP chaos shim: drop this fraction of response datagrams client-side (deterministic per -seed); timed-out decisions keep the current rate")
 	flag.DurationVar(&opt.udpTimeout, "udp-timeout", 20*time.Millisecond, "UDP: how long to wait for a response before treating the decision as lost")
+	flag.IntVar(&opt.coldLinks, "cold-links", 0, "per-algorithm cold population churned round-robin behind the hot set: each link is touched once per lap and idles past the TTL before its next turn, so every touch is an evict/restore (0 = off)")
+	flag.Float64Var(&opt.hotFrac, "hot-frac", 0.1, "with -cold-links: fraction of each batch replaying the hot trace-driven links; the rest churns the cold population")
+	flag.StringVar(&opt.coldDir, "cold-dir", "", "in-process/loopback server (or the -serve-exec child): spill evicted links to a disk cold tier in this directory")
+	flag.IntVar(&opt.coldFront, "cold-front", 0, "with -cold-dir: RAM-archive link budget in front of the cold tier (0 = server default)")
+	flag.Float64Var(&opt.compactRatio, "compact-ratio", 0, "with -cold-dir: dead-byte ratio that triggers cold segment compaction (0 = server default)")
+	flag.Uint64Var(&opt.minSpills, "min-spills", 0, "fail unless the in-process server spilled at least this many links to the cold tier")
+	flag.BoolVar(&opt.micro, "micro", false, "also run the in-process linkstore evict/restore A/B microbench (RAM archive vs cold tier) and embed it in the report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -161,6 +177,32 @@ func main() {
 	}
 	if opt.format != "text" && opt.format != "json" {
 		fmt.Fprintf(os.Stderr, "loadgen: unknown -format %q (want text | json)\n", opt.format)
+		os.Exit(2)
+	}
+	if opt.coldLinks > 0 {
+		if opt.pipeline > 1 || opt.transport == "udp" {
+			fmt.Fprintln(os.Stderr, "loadgen: -cold-links drives the stop-and-wait replay paths (no -pipeline > 1, no -transport udp)")
+			os.Exit(2)
+		}
+		if opt.hotFrac < 0 || opt.hotFrac > 1 {
+			fmt.Fprintln(os.Stderr, "loadgen: -hot-frac must be in [0,1]")
+			os.Exit(2)
+		}
+		if opt.ttl <= 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -cold-links needs -ttl > 0 (laps are paced to 2x the TTL so every touch is an evict/restore)")
+			os.Exit(2)
+		}
+		// The cold population is the idle-skew mechanism; the bursty-link
+		// fraction of the hot set would only muddy the churn accounting.
+		opt.idleFrac = 0
+	}
+	localStore := opt.addr == "" && opt.serveExec == "" && opt.shmPath == ""
+	if opt.coldDir != "" && !localStore && opt.serveExec == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -cold-dir configures the served store; with a remote server pass it to softrated instead (or use -serve-exec)")
+		os.Exit(2)
+	}
+	if opt.minSpills > 0 && (!localStore || opt.coldDir == "") {
+		fmt.Fprintln(os.Stderr, "loadgen: -min-spills needs an in-process or loopback server with -cold-dir")
 		os.Exit(2)
 	}
 
@@ -328,6 +370,15 @@ type benchReport struct {
 	// nonzero timeouts: each is one decision lost and a rate kept).
 	UDPStats *server.UDPClientStats `json:"udp,omitempty"`
 	UDPDrop  float64                `json:"udp_drop,omitempty"`
+	// Cold-churn shape and outcome (in-process/loopback servers only).
+	ColdLinks int              `json:"cold_links,omitempty"`
+	HotFrac   float64          `json:"hot_frac,omitempty"`
+	Cold      *coldstore.Stats `json:"cold,omitempty"`
+	// ResidentBytes is heap-in-use after a forced GC at the end of the
+	// run — the resident-memory figure the cold tier exists to bound.
+	ResidentBytes uint64 `json:"resident_bytes,omitempty"`
+	// Micro holds the -micro linkstore evict/restore A/B results.
+	Micro []microResult `json:"linkstore_microbench,omitempty"`
 }
 
 func run(opt options) error {
@@ -343,6 +394,18 @@ func run(opt options) error {
 	fmt.Fprintf(os.Stderr, "loadgen: generating traces (mix=%s)...\n", opt.mix)
 	traces := makeTraces(opt)
 
+	// A local (in-process or loopback) server can carry the disk cold
+	// tier directly; -serve-exec children get the flags forwarded instead.
+	var coldTier *coldstore.Store
+	if opt.coldDir != "" && opt.serveExec == "" {
+		var err error
+		coldTier, err = coldstore.Open(coldstore.Config{Dir: opt.coldDir, CompactRatio: opt.compactRatio})
+		if err != nil {
+			return err
+		}
+		defer coldTier.Close()
+	}
+
 	newLocalServer := func() *server.Server {
 		return server.New(server.Config{Store: linkstore.Config{
 			Shards: opt.shards,
@@ -350,10 +413,13 @@ func run(opt options) error {
 			// The loadgen knows its own population exactly; a real
 			// deployment passes softrated -expected-links. Each algorithm
 			// holds only its own -links share, so the slab reserve uses
-			// the per-algo figure.
+			// the per-algo figure (the cold population churns through a
+			// TTL-bounded slice of the hot map, so it needs no reserve).
 			ExpectedLinks:        opt.links * len(algos),
 			ExpectedLinksPerAlgo: opt.links,
 			BatchWorkers:         opt.workers,
+			Cold:                 coldTier,
+			ColdFront:            opt.coldFront,
 		}})
 	}
 
@@ -486,6 +552,12 @@ func run(opt options) error {
 			clients[c] = append(clients[c], l)
 		}
 	}
+	var pops []*coldPop
+	if opt.coldLinks > 0 {
+		pops = makeColdPops(algos, opt)
+		fmt.Fprintf(os.Stderr, "loadgen: cold churn: %d links per algorithm behind a hot-frac %.2f hot set\n",
+			opt.coldLinks, opt.hotFrac)
+	}
 
 	names := make([]string, len(algos))
 	for i, s := range algos {
@@ -515,6 +587,9 @@ func run(opt options) error {
 		go func(c int) {
 			defer wg.Done()
 			dr := &driver{opt: opt, links: clients[c]}
+			if pops != nil {
+				dr.pop = pops[c]
+			}
 			switch opt.transport {
 			case "":
 				dr.d = inProcess{srv}
@@ -602,6 +677,20 @@ func run(opt options) error {
 	if srv != nil {
 		s := srv.Stats().Store
 		storeStats = &s
+		report.Cold = s.Cold
+		if opt.verify && s.ColdErrors != 0 {
+			return fmt.Errorf("cold tier reported %d restore errors", s.ColdErrors)
+		}
+		// HeapInuse after a forced GC is the honest resident figure: live
+		// link state plus the cold index, with garbage discounted.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		report.ResidentBytes = ms.HeapInuse
+	}
+	if opt.coldLinks > 0 {
+		report.ColdLinks = opt.coldLinks
+		report.HotFrac = opt.hotFrac
 	}
 	for ai, spec := range algos {
 		var lat stats.Histogram
@@ -652,6 +741,15 @@ func run(opt options) error {
 		report.UDPDrop = opt.udpDrop
 	}
 
+	if opt.micro {
+		fmt.Fprintln(os.Stderr, "loadgen: running linkstore evict/restore microbench (RAM archive vs cold tier)...")
+		mr, err := runMicro(2 * time.Second)
+		if err != nil {
+			return err
+		}
+		report.Micro = mr
+	}
+
 	if opt.benchOut != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -669,8 +767,18 @@ func run(opt options) error {
 		for _, ar := range report.Algos {
 			metrics["decisions_per_sec."+ar.Algo] = ar.DecisionsPerSec
 		}
+		if opt.coldLinks > 0 && report.ResidentBytes > 0 {
+			// Lower-is-better: gated by softrate-benchtrend -lower-better.
+			metrics["resident_bytes"] = float64(report.ResidentBytes)
+		}
 		rec := benchtrend.Stamp("loadgen", metrics)
 		rec.Transport = transportDim
+		if opt.coldLinks > 0 {
+			// Cold-churn rows form their own trend dimension: their
+			// decisions/s and resident bytes are not comparable to the
+			// plain replay workload's.
+			rec.Transport = transportDim + "-coldchurn"
+		}
 		if err := benchtrend.Append(opt.trendOut, rec); err != nil {
 			return err
 		}
@@ -688,6 +796,14 @@ func run(opt options) error {
 
 	if opt.minRate > 0 && report.DecisionsPerSec < opt.minRate {
 		return fmt.Errorf("sustained %.0f decisions/sec, below the required %.0f", report.DecisionsPerSec, opt.minRate)
+	}
+	if opt.minSpills > 0 {
+		if report.Cold == nil {
+			return fmt.Errorf("-min-spills set but the server has no cold tier")
+		}
+		if report.Cold.Spills < opt.minSpills {
+			return fmt.Errorf("cold tier spilled %d links, below the required %d", report.Cold.Spills, opt.minSpills)
+		}
 	}
 	return nil
 }
@@ -711,12 +827,24 @@ func printText(rep benchReport, srv *server.Server, opt options) {
 	}
 	if srv != nil {
 		st := srv.Stats()
-		fmt.Printf("store: live=%d archived=%d evictions=%d creates=%d restores=%d\n",
-			st.Store.Live, st.Store.Archived, st.Store.Evictions, st.Store.Creates, st.Store.Restores)
+		fmt.Printf("store: live=%d archived=%d (%d KiB) evictions=%d creates=%d restores=%d\n",
+			st.Store.Live, st.Store.Archived, st.Store.ArchivedBytes>>10, st.Store.Evictions, st.Store.Creates, st.Store.Restores)
 		fmt.Printf("kinds: ber=%d collision=%d silent=%d postamble=%d\n",
 			st.Kinds[0], st.Kinds[1], st.Kinds[2], st.Kinds[3])
 	} else {
 		fmt.Println("store: n/a (remote server; see softrated -stats)")
+	}
+	if c := rep.Cold; c != nil {
+		fmt.Printf("cold: links=%d segments=%d disk=%d MiB spills=%d restores=%d compactions=%d restore-p99=%v\n",
+			c.Links, c.Segments, c.DiskBytes>>20, c.Spills, c.Restores, c.Compactions,
+			time.Duration(c.RestoreLatency.P99Ns))
+	}
+	if rep.ResidentBytes > 0 {
+		fmt.Printf("resident: %.1f MiB heap in use after final GC\n", float64(rep.ResidentBytes)/(1<<20))
+	}
+	for _, m := range rep.Micro {
+		fmt.Printf("micro %-30s %11.0f links/s (%s, %d links, window %d, spills=%d restores=%d)\n",
+			m.Name+":", m.LinksPerSec, m.Algo, m.Links, m.Window, m.DiskSpills, m.DiskRestores)
 	}
 	if rep.UDPStats != nil {
 		u := rep.UDPStats
@@ -782,6 +910,15 @@ type childServer struct {
 func startServeExec(opt options, shmRings int) (*childServer, error) {
 	c := &childServer{}
 	args := []string{"-addr", "127.0.0.1:0", "-shards", fmt.Sprint(opt.shards), "-ttl", opt.ttl.String()}
+	if opt.coldDir != "" {
+		args = append(args, "-cold-dir", opt.coldDir)
+		if opt.coldFront > 0 {
+			args = append(args, "-cold-front", fmt.Sprint(opt.coldFront))
+		}
+		if opt.compactRatio > 0 {
+			args = append(args, "-compact-ratio", fmt.Sprint(opt.compactRatio))
+		}
+	}
 	switch opt.transport {
 	case "udp":
 		args = append(args, "-udp", "127.0.0.1:0")
@@ -880,9 +1017,15 @@ func (c *childServer) stop() {
 
 // batchBuilder assembles request batches from a rotating cursor over a
 // link population; each ready link contributes its next trace event.
+// With a cold population attached, hotFrac of each batch replays the hot
+// links and the remainder churns the cold cursor (cold entries carry a
+// nil *link in the batch slice; their index is recovered from the op's
+// link ID).
 type batchBuilder struct {
-	links  []*link
-	cursor int
+	links   []*link
+	cursor  int
+	cold    *coldPop
+	hotFrac float64
 }
 
 // fill appends up to max ready events to ops/batch (reset first) and
@@ -891,8 +1034,12 @@ type batchBuilder struct {
 func (b *batchBuilder) fill(max int, now time.Time, ops []linkstore.Op, batch []*link) ([]linkstore.Op, []*link) {
 	ops = ops[:0]
 	batch = batch[:0]
+	hotMax := max
+	if b.cold != nil {
+		hotMax = int(float64(max)*b.hotFrac + 0.5)
+	}
 	skipped := 0
-	for len(ops) < max {
+	for len(ops) < hotMax {
 		l := b.links[b.cursor]
 		b.cursor++
 		if b.cursor == len(b.links) {
@@ -927,6 +1074,14 @@ func (b *batchBuilder) fill(max int, now time.Time, ops []linkstore.Op, batch []
 		})
 		batch = append(batch, l)
 	}
+	for b.cold != nil && len(ops) < max {
+		op, ok := b.cold.next(now)
+		if !ok {
+			break // lap gate: the population must idle past the TTL first
+		}
+		ops = append(ops, op)
+		batch = append(batch, nil)
+	}
 	return ops, batch
 }
 
@@ -941,6 +1096,7 @@ type driver struct {
 	udp   *server.UDPClient
 	opt   options
 	links []*link
+	pop   *coldPop // cold-churn slice, nil without -cold-links
 	res   clientResult
 }
 
@@ -950,6 +1106,21 @@ type driver struct {
 func (dr *driver) absorb(ops []linkstore.Op, batch []*link, out []int32) bool {
 	res := &dr.res
 	for i, l := range batch {
+		if l == nil { // cold-churn op: batch index k lives in the link ID
+			k := int(ops[i].LinkID - dr.pop.base)
+			dr.pop.rates[k] = int8(out[i])
+			if ri := out[i]; ri >= 0 && int(ri) < maxRates {
+				res.rateCounts[ri]++
+			}
+			if dr.opt.verify {
+				if want := dr.pop.mirror(k, ops[i]); int32(want) != out[i] {
+					res.mismatch = fmt.Sprintf("algo %d cold link %d: server decided %d, bare controller %d (op %+v)",
+						dr.pop.algo, ops[i].LinkID, out[i], want, ops[i])
+					return false
+				}
+			}
+			continue
+		}
 		l.rate = out[i]
 		if ri := out[i]; ri >= 0 && int(ri) < maxRates {
 			res.rateCounts[ri]++
@@ -1020,7 +1191,7 @@ func (dr *driver) run(stop *atomic.Bool) clientResult {
 	if ad, ok := dr.d.(asyncDecider); ok && dr.opt.pipeline > 1 {
 		return dr.runPipelined(ad, stop)
 	}
-	bb := batchBuilder{links: dr.links}
+	bb := batchBuilder{links: dr.links, cold: dr.pop, hotFrac: dr.opt.hotFrac}
 	ops := make([]linkstore.Op, 0, dr.opt.batch)
 	batch := make([]*link, 0, dr.opt.batch)
 	out := make([]int32, dr.opt.batch)

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"softrate/internal/coldstore"
 	"softrate/internal/ctl"
 	"softrate/internal/linkstore"
 	"softrate/internal/obs"
@@ -62,6 +63,9 @@ func main() {
 		shmPath     = flag.String("shm", "", "also serve the shared-memory ring transport: create region files at this path (ring i > 0 appends .i) for co-located clients; empty = off")
 		shmRings    = flag.Int("shm-rings", 1, "shm region files to create (one co-located client per ring)")
 		shmBytes    = flag.Int("shm-ring-bytes", shmring.DefaultCapacity, "per-ring capacity in bytes (power of two)")
+		coldDir     = flag.String("cold-dir", "", "spill idle links to an append-only segment log in this directory (bounded resident memory; recovered at startup); empty = keep every idle link in RAM")
+		coldFront   = flag.Int("cold-front", 0, "RAM-archive link budget in front of the cold tier (recently evicted links restore without disk I/O); 0 = default "+fmt.Sprint(linkstore.DefaultColdFront))
+		compactRat  = flag.Float64("compact-ratio", 0, "dead-byte ratio past which a cold segment is rewritten, in (0,1]; 0 = default "+fmt.Sprint(coldstore.DefaultCompactRatio))
 	)
 	flag.Parse()
 
@@ -71,6 +75,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var cold *coldstore.Store
+	if *coldDir != "" {
+		var err error
+		cold, err = coldstore.Open(coldstore.Config{Dir: *coldDir, CompactRatio: *compactRat})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "softrated:", err)
+			os.Exit(1)
+		}
+		cs := cold.Stats()
+		fmt.Fprintf(os.Stderr, "softrated: cold tier at %s (%d links recovered, %d segments, %d torn tails truncated)\n",
+			*coldDir, cs.Links, cs.Segments, cs.TornTails)
+	}
+
 	srv := server.New(server.Config{Store: linkstore.Config{
 		Shards:        *shards,
 		DefaultAlgo:   spec.ID,
@@ -78,6 +95,8 @@ func main() {
 		DropOnEvict:   *dropOnEvict,
 		ExpectedLinks: *expected,
 		BatchWorkers:  *workers,
+		Cold:          cold,
+		ColdFront:     *coldFront,
 	}})
 
 	l, err := net.Listen("tcp", *addr)
@@ -175,6 +194,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "softrated: draining (grace %v)\n", *drainGrace)
 			srv.Drain(*drainGrace)
 			<-done // Drain already waited out every serve loop; collect one exit
+			shutdownCold(srv, cold)
 			finalSnapshot(srv)
 			return
 		case err := <-done:
@@ -186,9 +206,30 @@ func main() {
 			// down; make sure the remaining transports are down too, then
 			// dump the same final snapshot as the signal path.
 			srv.Close()
+			shutdownCold(srv, cold)
 			finalSnapshot(srv)
 			return
 		}
+	}
+}
+
+// shutdownCold spills every remaining hot and RAM-archived link into the
+// cold tier and closes it, so the next -cold-dir start recovers the exact
+// pre-shutdown state of every link (the drain path has already quiesced
+// all traffic by the time this runs).
+func shutdownCold(srv *server.Server, cold *coldstore.Store) {
+	if cold == nil {
+		return
+	}
+	n, err := srv.Store().SpillAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softrated: cold spill:", err)
+	}
+	cs := cold.Stats()
+	fmt.Fprintf(os.Stderr, "softrated: cold tier spilled %d links at shutdown (%d links, %d segments, %d MiB on disk)\n",
+		n, cs.Links, cs.Segments, cs.DiskBytes>>20)
+	if err := cold.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "softrated: cold close:", err)
 	}
 }
 

@@ -10,10 +10,11 @@
 // of comparable history instead of a hand-maintained floor that goes
 // stale the moment the fleet changes.
 //
-// Records are deliberately flat: one map of named float64 metrics, all
-// higher-is-better on the gated keys (throughput figures). Latency-style
-// numbers may be recorded for inspection but should not be gated through
-// Gate, whose pass condition is current >= minRatio * median.
+// Records are deliberately flat: one map of named float64 metrics.
+// Higher-is-better keys (throughput figures) gate through Gate, whose
+// pass condition is current >= minRatio * median; lower-is-better keys
+// (resident bytes, latency) gate through GateLower, whose pass condition
+// is current <= maxRatio * median.
 package benchtrend
 
 import (
@@ -161,6 +162,17 @@ type CompareResult struct {
 // newest record (sorted for stable output). The error is non-nil only
 // when recs holds no matching record at all.
 func Gate(recs []Record, tool, transport string, metrics []string, minRatio float64) ([]CompareResult, error) {
+	return gate(recs, tool, transport, metrics, minRatio, false)
+}
+
+// GateLower is Gate for lower-is-better metrics (resident bytes, latency
+// figures): a metric passes when current <= maxRatio*median, or when no
+// comparable history holds it.
+func GateLower(recs []Record, tool, transport string, metrics []string, maxRatio float64) ([]CompareResult, error) {
+	return gate(recs, tool, transport, metrics, maxRatio, true)
+}
+
+func gate(recs []Record, tool, transport string, metrics []string, ratio float64, lowerBetter bool) ([]CompareResult, error) {
 	latest := -1
 	for i := range recs {
 		if recs[i].Tool == tool && (transport == "" || recs[i].Transport == transport) {
@@ -197,7 +209,11 @@ func Gate(recs []Record, tool, transport string, metrics []string, minRatio floa
 			res.Median = median(hist)
 			if res.Median > 0 {
 				res.Ratio = res.Current / res.Median
-				res.Pass = res.Ratio >= minRatio
+				if lowerBetter {
+					res.Pass = res.Ratio <= ratio
+				} else {
+					res.Pass = res.Ratio >= ratio
+				}
 			}
 		}
 		out = append(out, res)

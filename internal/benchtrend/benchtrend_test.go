@@ -112,6 +112,43 @@ func TestGateVacuousWithoutHistory(t *testing.T) {
 	}
 }
 
+func TestGateLowerIsBetter(t *testing.T) {
+	m := func(v float64) map[string]float64 { return map[string]float64{"resident_bytes": v} }
+	recs := []Record{
+		rec("loadgen", 4, m(100)),
+		rec("loadgen", 4, m(120)),
+		rec("loadgen", 4, m(80)),
+		rec("loadgen", 4, m(130)), // newest = current run
+	}
+	res, err := GateLower(recs, "loadgen", "", []string{"resident_bytes"}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Samples != 3 || r.Median != 100 {
+		t.Fatalf("history selection: %+v (want 3 samples, median 100)", r)
+	}
+	if !r.Pass || r.Ratio != 1.3 {
+		t.Fatalf("130 vs median 100 at maxRatio 1.5 should pass with ratio 1.3: %+v", r)
+	}
+	res, err = GateLower(recs, "loadgen", "", []string{"resident_bytes"}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Pass {
+		t.Fatalf("130 vs median 100 at maxRatio 1.2 should fail: %+v", res[0])
+	}
+	// The higher-is-better gate on the same history would (wrongly) pass
+	// any growth — make sure the two directions really differ.
+	res, err = Gate(recs, "loadgen", "", []string{"resident_bytes"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Pass {
+		t.Fatalf("sanity: Gate should pass 130 vs 100 at minRatio 0.5: %+v", res[0])
+	}
+}
+
 func trec(tool, transport string, cpus int, metrics map[string]float64) Record {
 	r := rec(tool, cpus, metrics)
 	r.Transport = transport

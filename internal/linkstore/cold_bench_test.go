@@ -1,0 +1,89 @@
+package linkstore
+
+import (
+	"testing"
+	"time"
+
+	"softrate/internal/coldstore"
+	"softrate/internal/core"
+	"softrate/internal/ctl"
+)
+
+// benchChurn drives idle-skew evict/restore churn: each cycle touches a
+// rotating window of the population and sweeps, so every touched link is
+// a restore (a link recurs only after nLinks/window further cycles —
+// long after its state left the RAM front, when the store has a cold
+// tier) and every cycle evicts the previous window. One b.N iteration is
+// one window, so the reported links/s is evict+restore pairs per second.
+func benchChurn(b *testing.B, st *Store, clk *fakeClock, nLinks, window int, algo ctl.Algo) {
+	const batch = 128
+	ops := make([]Op, batch)
+	out := make([]int32, batch)
+	pos := 0
+	cycle := func() {
+		for base := 0; base < window; base += batch {
+			n := 0
+			for i := 0; i < batch && base+i < window; i++ {
+				ops[n] = Op{LinkID: uint64((pos+base+i)%nLinks) + 1, Algo: algo, Kind: core.KindSilentLoss}
+				n++
+			}
+			st.ApplyBatch(ops[:n], out)
+		}
+		pos = (pos + window) % nLinks
+		clk.Advance(2 * time.Second)
+		st.EvictIdle()
+	}
+	for i := 0; i < nLinks/window+2; i++ {
+		cycle() // populate the whole population and push it through eviction
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	b.ReportMetric(float64(window)*float64(b.N)/b.Elapsed().Seconds(), "links/s")
+}
+
+// BenchmarkEvictRestoreRAMArchive is the A side: eviction churn with the
+// unbounded in-RAM archive (the pre-cold-tier store).
+func BenchmarkEvictRestoreRAMArchive(b *testing.B) {
+	const nLinks = 8192
+	clk := &fakeClock{}
+	st := New(Config{Shards: 64, TTL: time.Second, Clock: clk.Now, ExpectedLinks: nLinks})
+	benchChurn(b, st, clk, nLinks, 512, ctl.AlgoSoftRate)
+}
+
+// BenchmarkEvictRestoreColdTier is the B side: the same churn through a
+// disk tier behind a front far smaller than the population, so most
+// restores are single-read disk hits and every eviction eventually
+// group-commits through a spilled generation.
+func BenchmarkEvictRestoreColdTier(b *testing.B) {
+	const nLinks = 8192
+	cold, err := coldstore.Open(coldstore.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cold.Close()
+	clk := &fakeClock{}
+	st := New(Config{Shards: 64, TTL: time.Second, Clock: clk.Now, ExpectedLinks: nLinks,
+		Cold: cold, ColdFront: 1024})
+	benchChurn(b, st, clk, nLinks, 512, ctl.AlgoSoftRate)
+	if cold.Stats().Restores == 0 {
+		b.Fatal("benchmark never restored from disk")
+	}
+}
+
+// BenchmarkEvictRestoreColdTierWide is the B side for the widest state
+// (SampleRate ~1.7 KB): spill bandwidth and restore reads dominate here.
+func BenchmarkEvictRestoreColdTierWide(b *testing.B) {
+	const nLinks = 2048
+	cold, err := coldstore.Open(coldstore.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cold.Close()
+	clk := &fakeClock{}
+	st := New(Config{Shards: 64, TTL: time.Second, Clock: clk.Now, ExpectedLinks: nLinks,
+		Cold: cold, ColdFront: 256})
+	benchChurn(b, st, clk, nLinks, 256, ctl.AlgoSampleRate)
+}

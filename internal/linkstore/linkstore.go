@@ -21,6 +21,16 @@
 //     (linkID → encoded state, no stamp), so a link that comes back after
 //     an idle period resumes exactly where it left off — eviction is
 //     invisible to the protocol, it only sheds hot-map bookkeeping.
+//   - With Config.Cold the archive becomes a small bounded front of two
+//     generations: recently evicted links restore from RAM, and when the
+//     current generation fills, the older one is spilled wholesale to the
+//     disk tier in one group-committed batch (internal/coldstore). A
+//     returning link is looked up front-first, then restored from disk
+//     with a single read. Because spill and restore carry the same
+//     encoded state bytes the RAM archive does, decisions stay
+//     byte-identical across evict → spill → restore — resident memory is
+//     then bounded by the hot set + front + cold index instead of the
+//     total link population.
 //   - Locking is striped per shard; batches are routed shard-by-shard so a
 //     batch of B feedbacks takes O(shards-touched) lock acquisitions, not
 //     O(B). With Config.BatchWorkers one caller's batch additionally fans
@@ -40,6 +50,7 @@ import (
 	"time"
 
 	"softrate/internal/bitutil"
+	"softrate/internal/coldstore"
 	"softrate/internal/core"
 	"softrate/internal/ctl"
 )
@@ -81,6 +92,15 @@ type Config struct {
 	// factor-of-algorithms memory overcommit for a heterogeneous fleet
 	// of wide-state links.
 	ExpectedLinksPerAlgo int
+	// Cold, when non-nil, is the disk tier idle links overflow to: the
+	// RAM archive becomes a bounded two-generation front of about
+	// ColdFront links, and each filled generation is group-committed to
+	// Cold in one batch. Nil keeps the unbounded in-RAM archive.
+	Cold *coldstore.Store
+	// ColdFront is the store-wide RAM-archive budget (links) when Cold is
+	// set: links evicted more recently than roughly this many evictions
+	// ago restore without disk I/O. 0 means DefaultColdFront.
+	ColdFront int
 	// BatchWorkers, when > 1, lets a single ApplyBatch call fan its shard
 	// visits out across up to this many goroutines (the batch is already
 	// routed shard-by-shard; shards are independent, so per-link order —
@@ -144,8 +164,13 @@ type ShardStats struct {
 	Evictions uint64
 	// Live is the current hot-map size.
 	Live int
-	// Archived is the current archive size.
+	// Archived is the current RAM-archive size (both front generations
+	// when a cold tier is attached).
 	Archived int
+	// ArchivedBytes is the encoded state held by the RAM archive, in
+	// bytes — the real memory picture, since a SampleRate link archives
+	// ~1.7 KB where a SoftRate link archives 8 bytes.
+	ArchivedBytes int64
 }
 
 // AlgoStats is the per-algorithm slice of a store's churn counters.
@@ -156,6 +181,8 @@ type AlgoStats struct {
 	Creates, Restores, Evictions uint64
 	// Live and Archived are current populations, per algorithm.
 	Live, Archived int
+	// ArchivedBytes is the RAM-archived encoded state, per algorithm.
+	ArchivedBytes int64
 }
 
 // Stats is the store-wide aggregate of ShardStats.
@@ -166,7 +193,17 @@ type Stats struct {
 	// Algos holds per-algorithm churn for every registered algorithm that
 	// saw traffic, in ID order.
 	Algos []AlgoStats
+	// Cold is the attached disk tier's snapshot, nil without one.
+	Cold *coldstore.Stats
+	// ColdErrors counts cold-tier operations that failed (the store falls
+	// back to a fresh controller on a failed restore and keeps spill
+	// generations in RAM on a failed spill — never loses state silently).
+	ColdErrors uint64
 }
+
+// DefaultColdFront is the store-wide RAM-archive link budget when a cold
+// tier is attached and Config.ColdFront is zero.
+const DefaultColdFront = 65536
 
 // inlineState is the largest encoded state kept inline in the entry.
 const inlineState = 8
@@ -257,14 +294,29 @@ func (s *slab) at(slot uint32, w int) []byte {
 type algoCounters struct {
 	creates, restores, evictions uint64
 	live, archived               int
+	archivedBytes                int64
 }
 
 type shard struct {
-	mu      sync.Mutex
-	links   map[uint64]entry
-	archive map[uint64]archived
-	slabs   []slab           // indexed by algo ID
-	scratch []ctl.Controller // indexed by algo ID, built lazily
+	mu sync.Mutex
+	// links is the hot map; archive the RAM tier of evicted state. With a
+	// cold tier, archive is the current front generation and archiveOld
+	// the previous one: a filled current generation rotates, spilling
+	// archiveOld to disk in one batch (archiveOld stays nil without a
+	// cold tier, and lookups of a nil map are free).
+	links      map[uint64]entry
+	archive    map[uint64]archived
+	archiveOld map[uint64]archived
+	// spillBuf/spillRecs are the rotation scratch: one flat byte buffer
+	// holding every spilled state (archived values are copied out of the
+	// map iteration variable, whose inline array is reused) and the
+	// record headers pointing into it.
+	spillBuf  []byte
+	spillRecs []coldstore.Record
+	spillOffs []int
+	coldBuf   []byte           // Take destination, reused
+	slabs     []slab           // indexed by algo ID
+	scratch   []ctl.Controller // indexed by algo ID, built lazily
 	// soft caches the unwrapped core controller of any *ctl.SoftRate
 	// scratch: the overwhelmingly common algorithm skips the interface
 	// round trip (DecodeState/Apply/EncodeState collapse to two uint32
@@ -295,6 +347,9 @@ type Store struct {
 	build       func(ctl.Algo) ctl.Controller
 	workers     int // parallel ApplyBatch executors (<=1: sequential)
 	slabReserve int // per-shard slab capacity hint, in slots
+	cold        *coldstore.Store
+	genCap      int // per-shard archive-generation cap (links), 0 = unbounded
+	coldErrors  atomic.Uint64
 	shards      []shard
 
 	scratchPool sync.Pool // *batchScratch, for ApplyBatch routing
@@ -358,13 +413,31 @@ func New(cfg Config) *Store {
 	if cfg.ExpectedLinksPerAlgo > 0 {
 		st.slabReserve = cfg.ExpectedLinksPerAlgo/n + 1
 	}
+	st.cold = cfg.Cold
+	archSize := perShard / 8
+	if st.cold != nil {
+		// With a cold tier the archive is a bounded front: each shard
+		// holds two generations of genCap links, so the store-wide RAM
+		// budget is ColdFront regardless of population. Presize to the
+		// budget, not the (now meaningless) hot-map hint.
+		front := cfg.ColdFront
+		if front <= 0 {
+			front = DefaultColdFront
+		}
+		st.genCap = front / (2 * n)
+		if st.genCap < 1 {
+			st.genCap = 1
+		}
+		archSize = st.genCap
+	}
 	st.shards = make([]shard, n)
 	for i := range st.shards {
 		st.shards[i].links = make(map[uint64]entry, perShard)
-		// The archive only fills under TTL churn and rarely holds the whole
-		// population; an eighth of the hot-map hint avoids doubling the
-		// up-front footprint while still skipping the early rehashes.
-		st.shards[i].archive = make(map[uint64]archived, perShard/8)
+		// Without a cold tier the archive only fills under TTL churn and
+		// rarely holds the whole population; an eighth of the hot-map hint
+		// avoids doubling the up-front footprint while still skipping the
+		// early rehashes. With one, it is presized to its generation cap.
+		st.shards[i].archive = make(map[uint64]archived, archSize)
 		st.shards[i].slabs = make([]slab, nAlgos)
 		st.shards[i].scratch = make([]ctl.Controller, nAlgos)
 		st.shards[i].soft = make([]*core.SoftRate, nAlgos)
@@ -430,26 +503,23 @@ func (sh *shard) scratchFor(st *Store, a ctl.Algo) ctl.Controller {
 }
 
 // createLocked builds the entry for a link absent from the hot map:
-// revived from the archive (keeping its original algorithm) or created
-// fresh with the op's. Caller holds sh.mu.
+// revived from either RAM-archive generation or the cold tier (keeping
+// its original algorithm), or created fresh with the op's. Caller holds
+// sh.mu.
 func (sh *shard) createLocked(st *Store, id uint64, algo ctl.Algo) entry {
 	if !st.cfg.DropOnEvict {
 		if a, ok := sh.archive[id]; ok {
 			delete(sh.archive, id)
-			w := st.widths[a.algo]
-			e := entry{algo: a.algo}
-			if w <= inlineState {
-				copy(e.state[:w], a.state(w))
-			} else {
-				slot := sh.slabs[a.algo].alloc(w, st.slabReserve)
-				e.setSlot(slot)
-				copy(sh.slabs[a.algo].at(slot, w), a.state(w))
+			return sh.reviveLocked(st, a)
+		}
+		if a, ok := sh.archiveOld[id]; ok {
+			delete(sh.archiveOld, id)
+			return sh.reviveLocked(st, a)
+		}
+		if st.cold != nil {
+			if e, ok := sh.coldRestoreLocked(st, id); ok {
+				return e
 			}
-			sh.stats.Restores++
-			sh.perAlgo[a.algo].restores++
-			sh.perAlgo[a.algo].archived--
-			sh.perAlgo[a.algo].live++
-			return e
 		}
 	}
 	w := st.widths[algo]
@@ -465,6 +535,63 @@ func (sh *shard) createLocked(st *Store, id uint64, algo ctl.Algo) entry {
 	sh.perAlgo[algo].creates++
 	sh.perAlgo[algo].live++
 	return e
+}
+
+// reviveLocked turns a RAM-archived state back into a hot entry. Caller
+// holds sh.mu and has removed a from its generation map.
+func (sh *shard) reviveLocked(st *Store, a archived) entry {
+	w := st.widths[a.algo]
+	e := entry{algo: a.algo}
+	if w <= inlineState {
+		copy(e.state[:w], a.state(w))
+	} else {
+		slot := sh.slabs[a.algo].alloc(w, st.slabReserve)
+		e.setSlot(slot)
+		copy(sh.slabs[a.algo].at(slot, w), a.state(w))
+	}
+	sh.stats.Restores++
+	sh.perAlgo[a.algo].restores++
+	sh.perAlgo[a.algo].archived--
+	sh.perAlgo[a.algo].archivedBytes -= int64(w)
+	sh.perAlgo[a.algo].live++
+	return e
+}
+
+// coldRestoreLocked takes a link's state back from the disk tier: one
+// read, CRC-checked, carrying the exact bytes the link spilled with (so
+// the restored controller is byte-identical to the evicted one). A
+// failed or unparseable restore counts a cold error and falls through
+// to a fresh controller — never a half-decoded one. Caller holds sh.mu.
+func (sh *shard) coldRestoreLocked(st *Store, id uint64) (entry, bool) {
+	algoB, state, ok, err := st.cold.Take(id, sh.coldBuf[:0])
+	if err != nil {
+		st.coldErrors.Add(1)
+		return entry{}, false
+	}
+	if !ok {
+		return entry{}, false
+	}
+	sh.coldBuf = state[:0]
+	a := ctl.Algo(algoB)
+	if int(a) >= len(st.widths) || st.widths[a] != len(state) {
+		// A record from an unregistered algorithm or the wrong width —
+		// possible only across an incompatible binary change. Refuse it.
+		st.coldErrors.Add(1)
+		return entry{}, false
+	}
+	w := st.widths[a]
+	e := entry{algo: a}
+	if w <= inlineState {
+		copy(e.state[:w], state)
+	} else {
+		slot := sh.slabs[a].alloc(w, st.slabReserve)
+		e.setSlot(slot)
+		copy(sh.slabs[a].at(slot, w), state)
+	}
+	sh.stats.Restores++
+	sh.perAlgo[a].restores++
+	sh.perAlgo[a].live++
+	return e, true
 }
 
 // applyShardLocked services a shard's slice of one batch: idxs index into
@@ -573,40 +700,120 @@ func (sh *shard) applyRunLocked(st *Store, ops []Op, run []int32, out []int32, n
 	sh.links[id] = e
 }
 
+// archiveLocked moves one hot entry's state into the RAM archive's
+// current generation and frees its slab slot. Caller holds sh.mu and
+// deletes the entry from sh.links itself.
+func (sh *shard) archiveLocked(st *Store, id uint64, e entry) {
+	w := st.widths[e.algo]
+	if !st.cfg.DropOnEvict {
+		a := archived{algo: e.algo}
+		if w > 0 {
+			if w > archInline {
+				a.spill = make([]byte, w)
+			}
+			if w <= inlineState {
+				copy(a.state(w), e.state[:w])
+			} else {
+				copy(a.state(w), sh.slabs[e.algo].at(e.slot(), w))
+			}
+		}
+		sh.archive[id] = a
+		sh.perAlgo[e.algo].archived++
+		sh.perAlgo[e.algo].archivedBytes += int64(w)
+	}
+	if w > inlineState {
+		sh.slabs[e.algo].free = append(sh.slabs[e.algo].free, e.slot())
+	}
+	sh.perAlgo[e.algo].evictions++
+	sh.perAlgo[e.algo].live--
+}
+
 // sweepLocked evicts idle links. Caller holds sh.mu.
 func (sh *shard) sweepLocked(st *Store, now int64) int {
 	nowTick := st.tickOf(now)
 	evicted := 0
 	for id, e := range sh.links {
 		if nowTick-e.lastUsed >= st.ttlTicks { // wrapping age in ticks
-			w := st.widths[e.algo]
-			if !st.cfg.DropOnEvict {
-				a := archived{algo: e.algo}
-				if w > 0 {
-					if w > archInline {
-						a.spill = make([]byte, w)
-					}
-					if w <= inlineState {
-						copy(a.state(w), e.state[:w])
-					} else {
-						copy(a.state(w), sh.slabs[e.algo].at(e.slot(), w))
-					}
-				}
-				sh.archive[id] = a
-				sh.perAlgo[e.algo].archived++
-			}
-			if w > inlineState {
-				sh.slabs[e.algo].free = append(sh.slabs[e.algo].free, e.slot())
-			}
+			sh.archiveLocked(st, id, e)
 			delete(sh.links, id)
-			sh.perAlgo[e.algo].evictions++
-			sh.perAlgo[e.algo].live--
 			evicted++
 		}
 	}
 	sh.stats.Evictions += uint64(evicted)
 	sh.lastSweep = now
+	// Rotate until the RAM front fits its budget again. One sweep can
+	// idle out far more than genCap links at once (a synchronized
+	// population — everything created in one burst — ages out in one
+	// pass), and a single rotation would park that burst in archiveOld
+	// without ever reaching disk: the next sweep would see an empty
+	// current generation and stand down, leaving the budget violated
+	// indefinitely. The loop runs at most twice per sweep in practice
+	// (spill old, swap the burst into old, spill it too).
+	for st.genCap > 0 &&
+		(len(sh.archive) >= st.genCap || len(sh.archive)+len(sh.archiveOld) > 2*st.genCap) {
+		if !sh.rotateArchiveLocked(st) {
+			break // spill error: keep both generations, retry next sweep
+		}
+	}
 	return evicted
+}
+
+// rotateArchiveLocked ages the archive one generation: the old
+// generation is spilled to the cold tier in one group-committed batch
+// and its (emptied) map becomes the new current generation. On a spill
+// error both generations stay in RAM — nothing is lost, the rotation
+// retries at the next sweep — and the rotation reports failure. Caller
+// holds sh.mu.
+func (sh *shard) rotateArchiveLocked(st *Store) bool {
+	if err := sh.spillGenLocked(st, sh.archiveOld); err != nil {
+		return false
+	}
+	old := sh.archiveOld
+	if old == nil {
+		old = make(map[uint64]archived, st.genCap)
+	}
+	sh.archiveOld = sh.archive
+	sh.archive = old
+	return true
+}
+
+// spillGenLocked writes every record of one archive generation to the
+// cold tier in a single batch and empties the generation. The states are
+// first copied into one flat reusable buffer: map iteration yields
+// archived values whose inline array lives in the (reused) loop
+// variable, so records must not point into it — and the flat layout is
+// exactly what the cold tier's group commit serializes anyway. Caller
+// holds sh.mu.
+func (sh *shard) spillGenLocked(st *Store, gen map[uint64]archived) error {
+	if len(gen) == 0 {
+		return nil
+	}
+	recs := sh.spillRecs[:0]
+	offs := sh.spillOffs[:0]
+	buf := sh.spillBuf[:0]
+	for id, a := range gen {
+		offs = append(offs, len(buf))
+		buf = append(buf, a.state(st.widths[a.algo])...)
+		recs = append(recs, coldstore.Record{LinkID: id, Algo: uint8(a.algo)})
+	}
+	// buf may have reallocated while filling; point the records at the
+	// final backing array only now.
+	for i := range recs {
+		w := st.widths[recs[i].Algo]
+		recs[i].State = buf[offs[i] : offs[i]+w]
+	}
+	err := st.cold.PutBatch(recs)
+	sh.spillBuf, sh.spillRecs, sh.spillOffs = buf[:0], recs[:0], offs[:0]
+	if err != nil {
+		st.coldErrors.Add(1)
+		return err
+	}
+	for _, a := range gen {
+		sh.perAlgo[a.algo].archived--
+		sh.perAlgo[a.algo].archivedBytes -= int64(st.widths[a.algo])
+	}
+	clear(gen)
+	return nil
 }
 
 // maybeSweepLocked runs a TTL sweep if one is due. A shard sweeps at most
@@ -775,7 +982,59 @@ func (st *Store) Peek(id uint64) (ctl.Algo, []byte, bool) {
 		copy(out, a.state(w))
 		return a.algo, out, true
 	}
+	if a, ok := sh.archiveOld[id]; ok {
+		w := st.widths[a.algo]
+		out := make([]byte, w)
+		copy(out, a.state(w))
+		return a.algo, out, true
+	}
+	if st.cold != nil {
+		if algoB, state, ok, err := st.cold.Peek(id, nil); err == nil && ok {
+			return ctl.Algo(algoB), state, true
+		}
+	}
 	return ctl.AlgoDefault, nil, false
+}
+
+// SpillAll moves every link — hot, and both RAM-archive generations —
+// into the cold tier and empties the store. It is the graceful-shutdown
+// half of the crash-restart contract: after SpillAll, a process that
+// reopens the same cold directory restores every link byte-identically,
+// including links that had been taken back from disk since their last
+// spill. Returns the number of links spilled; a no-op without a cold
+// tier. On error the affected shard keeps its state in RAM (and the
+// error is returned after all shards are attempted).
+func (st *Store) SpillAll() (int, error) {
+	if st.cold == nil {
+		return 0, nil
+	}
+	now := st.cfg.Clock()
+	total := 0
+	var firstErr error
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.links {
+			sh.archiveLocked(st, id, e)
+			sh.stats.Evictions++
+			delete(sh.links, id)
+		}
+		n := len(sh.archive) + len(sh.archiveOld)
+		err := sh.spillGenLocked(st, sh.archiveOld)
+		if err == nil {
+			err = sh.spillGenLocked(st, sh.archive)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			total += n
+		}
+		sh.lastSweep = now
+		sh.mu.Unlock()
+	}
+	return total, firstErr
 }
 
 // EvictIdle sweeps every shard now, evicting links idle for at least the
@@ -817,13 +1076,14 @@ func (st *Store) Stats() Stats {
 		sh.mu.Lock()
 		s := sh.stats
 		s.Live = len(sh.links)
-		s.Archived = len(sh.archive)
+		s.Archived = len(sh.archive) + len(sh.archiveOld)
 		for a := range sh.perAlgo {
 			c := &sh.perAlgo[a]
 			perAlgo[a].creates += c.creates
 			perAlgo[a].restores += c.restores
 			perAlgo[a].evictions += c.evictions
 			perAlgo[a].archived += c.archived
+			perAlgo[a].archivedBytes += c.archivedBytes
 			perAlgo[a].live += c.live
 		}
 		sh.mu.Unlock()
@@ -839,11 +1099,18 @@ func (st *Store) Stats() Stats {
 		if c.creates == 0 && c.restores == 0 && c.evictions == 0 && c.live == 0 && c.archived == 0 {
 			continue
 		}
+		out.ArchivedBytes += c.archivedBytes
 		out.Algos = append(out.Algos, AlgoStats{
 			Algo: ctl.Algo(a), Creates: c.creates, Restores: c.restores,
 			Evictions: c.evictions, Live: c.live, Archived: c.archived,
+			ArchivedBytes: c.archivedBytes,
 		})
 	}
+	if st.cold != nil {
+		cs := st.cold.Stats()
+		out.Cold = &cs
+	}
+	out.ColdErrors = st.coldErrors.Load()
 	return out
 }
 
@@ -856,7 +1123,10 @@ func (st *Store) PerShard() []ShardStats {
 		sh.mu.Lock()
 		out[i] = sh.stats
 		out[i].Live = len(sh.links)
-		out[i].Archived = len(sh.archive)
+		out[i].Archived = len(sh.archive) + len(sh.archiveOld)
+		for a := range sh.perAlgo {
+			out[i].ArchivedBytes += sh.perAlgo[a].archivedBytes
+		}
 		sh.mu.Unlock()
 	}
 	return out

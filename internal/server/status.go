@@ -246,7 +246,8 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	}
 
 	obs.PromGauge(w, "softrated_links_live", "", "links in the hot maps", float64(st.Store.Live))
-	obs.PromGauge(w, "softrated_links_archived", "", "evicted links in the archive", float64(st.Store.Archived))
+	obs.PromGauge(w, "softrated_links_archived", "", "evicted links in the RAM archive", float64(st.Store.Archived))
+	obs.PromGauge(w, "softrated_links_archived_bytes", "", "encoded state held by the RAM archive", float64(st.Store.ArchivedBytes))
 	obs.PromCounter(w, "softrated_store_hits_total", "", "ops that found their link hot", st.Store.Hits)
 	obs.PromCounter(w, "softrated_store_creates_total", "", "links created fresh", st.Store.Creates)
 	obs.PromCounter(w, "softrated_store_restores_total", "", "links revived from the archive", st.Store.Restores)
@@ -264,6 +265,21 @@ func (s *Server) WritePrometheus(w io.Writer) {
 		obs.PromSample(w, "softrated_store_churn_by_algo_total", `algo="`+name+`",event="create"`, float64(as.Creates))
 		obs.PromSample(w, "softrated_store_churn_by_algo_total", `algo="`+name+`",event="restore"`, float64(as.Restores))
 		obs.PromSample(w, "softrated_store_churn_by_algo_total", `algo="`+name+`",event="evict"`, float64(as.Evictions))
+	}
+
+	if c := st.Store.Cold; c != nil {
+		obs.PromGauge(w, "softrated_cold_links", "", "links resident in the disk tier", float64(c.Links))
+		obs.PromGauge(w, "softrated_cold_segments", "", "disk-tier segment files", float64(c.Segments))
+		obs.PromGauge(w, "softrated_cold_live_bytes", "", "disk-tier record bytes still referenced by the index", float64(c.LiveBytes))
+		obs.PromGauge(w, "softrated_cold_dead_bytes", "", "disk-tier record bytes superseded or restored (compaction reclaims them)", float64(c.DeadBytes))
+		obs.PromGauge(w, "softrated_cold_disk_bytes", "", "total disk-tier segment bytes", float64(c.DiskBytes))
+		obs.PromCounter(w, "softrated_cold_spilled_links_total", "", "links group-committed to the disk tier", c.Spills)
+		obs.PromCounter(w, "softrated_cold_restored_links_total", "", "links restored from the disk tier", c.Restores)
+		obs.PromCounter(w, "softrated_cold_compactions_total", "", "disk-tier segments reclaimed by compaction", c.Compactions)
+		obs.PromCounter(w, "softrated_cold_torn_tails_total", "", "partial batch tails truncated at recovery", c.TornTails)
+		obs.PromCounter(w, "softrated_cold_errors_total", "", "failed cold-tier operations (the store fell back without losing state)", st.Store.ColdErrors)
+		obs.PromHeader(w, "softrated_cold_restore_latency_seconds", "histogram", "disk-restore latency")
+		obs.PromHistogramSamples(w, "softrated_cold_restore_latency_seconds", "", &c.RestoreHist)
 	}
 
 	obs.PromCounter(w, "softrated_conns_accepted_total", "", "TCP connections accepted", st.Transport.ConnsAccepted)
