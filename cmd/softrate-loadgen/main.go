@@ -56,6 +56,7 @@ import (
 	"softrate/internal/coldstore"
 	"softrate/internal/core"
 	"softrate/internal/ctl"
+	"softrate/internal/faultfs"
 	"softrate/internal/linkstore"
 	"softrate/internal/rate"
 	"softrate/internal/server"
@@ -100,6 +101,12 @@ type options struct {
 	compactRatio float64
 	minSpills    uint64
 	micro        bool
+
+	maxInflight  int
+	writeTimeout time.Duration
+	chaosCold    float64
+	chaosSeed    int64
+	stallConns   int
 }
 
 func main() {
@@ -137,6 +144,11 @@ func main() {
 	flag.Float64Var(&opt.compactRatio, "compact-ratio", 0, "with -cold-dir: dead-byte ratio that triggers cold segment compaction (0 = server default)")
 	flag.Uint64Var(&opt.minSpills, "min-spills", 0, "fail unless the in-process server spilled at least this many links to the cold tier")
 	flag.BoolVar(&opt.micro, "micro", false, "also run the in-process linkstore evict/restore A/B microbench (RAM archive vs cold tier) and embed it in the report")
+	flag.IntVar(&opt.maxInflight, "max-inflight", 0, "served store (in-process, loopback or -serve-exec child): bound Decide batches in flight; lossless transports queue, UDP sheds (0 = unbounded)")
+	flag.DurationVar(&opt.writeTimeout, "tcp-write-timeout", 0, "served store: evict a TCP peer write-blocked this long (0 = never)")
+	flag.Float64Var(&opt.chaosCold, "chaos-cold", 0, "with -cold-dir: inject write-path faults into the cold tier at this per-op probability (spills fail and retry; answered decisions stay exact)")
+	flag.Int64Var(&opt.chaosSeed, "chaos-seed", 1, "seed for the -chaos-cold fault schedule (same seed = same faults)")
+	flag.IntVar(&opt.stallConns, "chaos-stall-conns", 0, "open this many TCP connections that submit but never read responses (exercises -tcp-write-timeout eviction; needs a TCP server)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -203,6 +215,14 @@ func main() {
 	}
 	if opt.minSpills > 0 && (!localStore || opt.coldDir == "") {
 		fmt.Fprintln(os.Stderr, "loadgen: -min-spills needs an in-process or loopback server with -cold-dir")
+		os.Exit(2)
+	}
+	if opt.chaosCold > 0 && opt.coldDir == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos-cold needs -cold-dir (it injects faults into the cold tier)")
+		os.Exit(2)
+	}
+	if opt.stallConns > 0 && opt.transport != "tcp" && opt.serveExec == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos-stall-conns needs a TCP server (-transport tcp, or any -serve-exec child)")
 		os.Exit(2)
 	}
 
@@ -377,8 +397,27 @@ type benchReport struct {
 	// ResidentBytes is heap-in-use after a forced GC at the end of the
 	// run — the resident-memory figure the cold tier exists to bound.
 	ResidentBytes uint64 `json:"resident_bytes,omitempty"`
+	// Chaos records the fault-injection shape and what it provoked
+	// (in-process/loopback servers report the counters; -serve-exec runs
+	// record only the shape — the child logs its own final status).
+	Chaos *chaosReport `json:"chaos,omitempty"`
 	// Micro holds the -micro linkstore evict/restore A/B results.
 	Micro []microResult `json:"linkstore_microbench,omitempty"`
+}
+
+// chaosReport is the chaos/overload slice of the report.
+type chaosReport struct {
+	ChaosCold         float64 `json:"chaos_cold,omitempty"`
+	ChaosSeed         int64   `json:"chaos_seed,omitempty"`
+	MaxInflight       int     `json:"max_inflight,omitempty"`
+	StallConns        int     `json:"stall_conns,omitempty"`
+	ColdSpillErrors   uint64  `json:"cold_spill_errors,omitempty"`
+	ColdRestoreErrors uint64  `json:"cold_restore_errors,omitempty"`
+	BreakerTrips      uint64  `json:"breaker_trips,omitempty"`
+	SpillRetries      uint64  `json:"spill_retries,omitempty"`
+	ColdDegraded      bool    `json:"cold_degraded,omitempty"`
+	UDPShed           uint64  `json:"udp_shed,omitempty"`
+	SlowEvicted       uint64  `json:"slow_clients_evicted,omitempty"`
 }
 
 func run(opt options) error {
@@ -398,12 +437,27 @@ func run(opt options) error {
 	// tier directly; -serve-exec children get the flags forwarded instead.
 	var coldTier *coldstore.Store
 	if opt.coldDir != "" && opt.serveExec == "" {
+		ccfg := coldstore.Config{Dir: opt.coldDir, CompactRatio: opt.compactRatio}
+		var inj *faultfs.Injector
+		if opt.chaosCold > 0 {
+			// Write-path faults only (see faultfs.ChaosRates): spills fail
+			// and trip the breaker, but whatever does reach disk reads back
+			// real bytes, so -verify exactness is preserved. Disarmed until
+			// Open finishes so the tier always comes up.
+			inj = faultfs.Wrap(faultfs.OS{}, uint64(opt.chaosSeed), faultfs.ChaosRates(opt.chaosCold))
+			inj.Arm(false)
+			ccfg.FS = inj
+			fmt.Fprintf(os.Stderr, "loadgen: CHAOS cold-tier fault injection on (rate %g, seed %d)\n", opt.chaosCold, opt.chaosSeed)
+		}
 		var err error
-		coldTier, err = coldstore.Open(coldstore.Config{Dir: opt.coldDir, CompactRatio: opt.compactRatio})
+		coldTier, err = coldstore.Open(ccfg)
 		if err != nil {
 			return err
 		}
 		defer coldTier.Close()
+		if inj != nil {
+			inj.Arm(true)
+		}
 	}
 
 	newLocalServer := func() *server.Server {
@@ -420,7 +474,10 @@ func run(opt options) error {
 			BatchWorkers:         opt.workers,
 			Cold:                 coldTier,
 			ColdFront:            opt.coldFront,
-		}})
+		},
+			MaxInflight:  opt.maxInflight,
+			WriteTimeout: opt.writeTimeout,
+		})
 	}
 
 	// transport labels the run for the report; transportDim is the
@@ -432,12 +489,14 @@ func run(opt options) error {
 	shmPrefix := opt.shmPath
 	shmRings := opt.clients * len(algos) // one ring per client goroutine
 
+	childTCP := ""
 	if opt.serveExec != "" {
 		child, err := startServeExec(opt, shmRings)
 		if err != nil {
 			return err
 		}
 		defer child.stop()
+		childTCP = child.tcpAddr
 		transportDim = opt.transport + "-exec"
 		switch opt.transport {
 		case "tcp":
@@ -513,6 +572,28 @@ func run(opt options) error {
 			defer srv.Close() // LIFO: the serve loop stops before the regions unmap
 			transport, transportDim = "shm-loopback", "shm-loopback"
 		}
+	}
+
+	// Stalled TCP clients run alongside the real load for the whole run
+	// (prewarm included): they submit valid batches in a reserved link-ID
+	// namespace and never read a response, so the server's write-deadline
+	// eviction is what keeps them from pinning handlers.
+	var stallWG *sync.WaitGroup
+	stallStop := make(chan struct{})
+	if opt.stallConns > 0 {
+		stallAddr := opt.addr
+		if stallAddr == "" {
+			stallAddr = childTCP
+		}
+		if stallAddr == "" {
+			return errors.New("-chaos-stall-conns: no TCP address to stall against")
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: CHAOS %d stalled TCP clients against %s\n", opt.stallConns, stallAddr)
+		stallWG = runStallConns(stallAddr, opt.stallConns, stallStop)
+		defer func() {
+			close(stallStop)
+			stallWG.Wait()
+		}()
 	}
 
 	// Per algorithm: the same link population, the same per-link trace
@@ -616,6 +697,14 @@ func run(opt options) error {
 					return
 				}
 				defer cli.Close()
+				if opt.verify {
+					// The UDP mirror advances on response arrival, not at
+					// submit: the hook fires before the drop shim below, so
+					// injected drops still advance it while server-side sheds
+					// (no response at all) never do. See udpVerifier.
+					dr.uv = newUDPVerifier()
+					cli.OnResponse = dr.uv.onResponse
+				}
 				if opt.udpDrop > 0 {
 					// Deterministic per-client chaos: the shim discards this
 					// fraction of responses after parsing, exactly as if the
@@ -678,8 +767,12 @@ func run(opt options) error {
 		s := srv.Stats().Store
 		storeStats = &s
 		report.Cold = s.Cold
-		if opt.verify && s.ColdErrors != 0 {
-			return fmt.Errorf("cold tier reported %d restore errors", s.ColdErrors)
+		// Restore errors break exactness (the store fell through to a
+		// fresh controller while the bare mirror kept its state); spill
+		// errors do not (the failed generation stays resident in RAM), so
+		// chaos runs can inject write faults under -verify.
+		if opt.verify && s.ColdRestoreErrors != 0 {
+			return fmt.Errorf("cold tier reported %d restore errors", s.ColdRestoreErrors)
 		}
 		// HeapInuse after a forced GC is the honest resident figure: live
 		// link state plus the cold index, with garbage discounted.
@@ -691,6 +784,25 @@ func run(opt options) error {
 	if opt.coldLinks > 0 {
 		report.ColdLinks = opt.coldLinks
 		report.HotFrac = opt.hotFrac
+	}
+	if opt.chaosCold > 0 || opt.maxInflight > 0 || opt.stallConns > 0 {
+		ch := &chaosReport{MaxInflight: opt.maxInflight, StallConns: opt.stallConns}
+		if opt.chaosCold > 0 {
+			ch.ChaosCold, ch.ChaosSeed = opt.chaosCold, opt.chaosSeed
+		}
+		if storeStats != nil {
+			ch.ColdSpillErrors = storeStats.ColdSpillErrors
+			ch.ColdRestoreErrors = storeStats.ColdRestoreErrors
+			ch.BreakerTrips = storeStats.BreakerTrips
+			ch.SpillRetries = storeStats.SpillRetries
+			ch.ColdDegraded = storeStats.ColdDegraded
+		}
+		if srv != nil {
+			st := srv.Status()
+			ch.UDPShed = st.UDP.Shed
+			ch.SlowEvicted = st.Transport.SlowClientsEvicted
+		}
+		report.Chaos = ch
 	}
 	for ai, spec := range algos {
 		var lat stats.Histogram
@@ -779,6 +891,11 @@ func run(opt options) error {
 			// plain replay workload's.
 			rec.Transport = transportDim + "-coldchurn"
 		}
+		if opt.chaosCold > 0 {
+			// Fault-injection rows likewise: churn under injected faults
+			// pays retry and fallback costs no clean run has.
+			rec.Transport += "-chaos"
+		}
 		if err := benchtrend.Append(opt.trendOut, rec); err != nil {
 			return err
 		}
@@ -841,6 +958,10 @@ func printText(rep benchReport, srv *server.Server, opt options) {
 	}
 	if rep.ResidentBytes > 0 {
 		fmt.Printf("resident: %.1f MiB heap in use after final GC\n", float64(rep.ResidentBytes)/(1<<20))
+	}
+	if ch := rep.Chaos; ch != nil {
+		fmt.Printf("chaos: spill-errors=%d restore-errors=%d breaker-trips=%d retries=%d degraded=%v shed=%d slow-evicted=%d\n",
+			ch.ColdSpillErrors, ch.ColdRestoreErrors, ch.BreakerTrips, ch.SpillRetries, ch.ColdDegraded, ch.UDPShed, ch.SlowEvicted)
 	}
 	for _, m := range rep.Micro {
 		fmt.Printf("micro %-30s %11.0f links/s (%s, %d links, window %d, spills=%d restores=%d)\n",
@@ -918,6 +1039,15 @@ func startServeExec(opt options, shmRings int) (*childServer, error) {
 		if opt.compactRatio > 0 {
 			args = append(args, "-compact-ratio", fmt.Sprint(opt.compactRatio))
 		}
+		if opt.chaosCold > 0 {
+			args = append(args, "-chaos-cold", fmt.Sprint(opt.chaosCold), "-chaos-seed", fmt.Sprint(opt.chaosSeed))
+		}
+	}
+	if opt.maxInflight > 0 {
+		args = append(args, "-max-inflight", fmt.Sprint(opt.maxInflight))
+	}
+	if opt.writeTimeout > 0 {
+		args = append(args, "-tcp-write-timeout", opt.writeTimeout.String())
 	}
 	switch opt.transport {
 	case "udp":
@@ -1087,13 +1217,15 @@ func (b *batchBuilder) fill(max int, now time.Time, ops []linkstore.Op, batch []
 
 // driver is one client's replay engine. Exactly one of d and udp is
 // set: UDP gets its own replay paths because its loss contract inverts
-// the bookkeeping — the server applies every datagram it receives even
-// when the response never makes it back, so the -verify checkers must
-// advance at submit time, and a timed-out decision means "keep the
-// current rate", not "fail".
+// the bookkeeping — a timed-out decision means "keep the current rate",
+// not "fail", and the -verify checkers advance only when a response
+// arrives and proves the server applied the batch (see udpVerifier; a
+// batch the server shed under overload was never applied, so the mirror
+// must not move either).
 type driver struct {
 	d     decider
 	udp   *server.UDPClient
+	uv    *udpVerifier // UDP -verify mirror, nil otherwise
 	opt   options
 	links []*link
 	pop   *coldPop // cold-churn slice, nil without -cold-links
@@ -1312,55 +1444,44 @@ type udpSlot struct {
 	ops   []linkstore.Op
 	batch []*link
 	out   []int32
-	want  []int32
 	p     *server.UDPPending
 	t0    time.Time
 	busy  bool
 }
 
-// submitUDP sends slot s's built batch, advancing the -verify bare
-// checkers at submit time: on loopback the request stream is lossless,
-// so the server's controller state moves in lockstep with the checkers
-// even when the response is dropped. The recorded wants are compared if
-// and when the response arrives.
+// submitUDP sends slot s's built batch and, with -verify, registers it
+// with the arrival-driven mirror: the bare checkers advance only when a
+// response proves the server applied it (the OnResponse hook), so a
+// batch shed by an overloaded server leaves both sides untouched.
 func (dr *driver) submitUDP(s *udpSlot) (*server.UDPPending, error) {
-	if dr.opt.verify {
-		s.want = s.want[:0]
-		for i, l := range s.batch {
-			var want int
-			if l.bareSoft != nil {
-				want = l.bareSoft.Apply(s.ops[i].Kind, int(s.ops[i].RateIndex), s.ops[i].BER)
-			} else {
-				want = l.bare.Apply(ctl.Feedback{
-					Kind:      s.ops[i].Kind,
-					RateIndex: int(s.ops[i].RateIndex),
-					BER:       s.ops[i].BER,
-					SNRdB:     float64(s.ops[i].SNRdB),
-					Airtime:   float64(s.ops[i].Airtime),
-					Delivered: s.ops[i].Delivered,
-				})
-			}
-			s.want = append(s.want, int32(want))
-		}
+	p, err := dr.udp.Submit(s.ops)
+	if err == nil && dr.uv != nil {
+		dr.uv.track(p.Seq(), s.ops, s.batch)
 	}
-	return dr.udp.Submit(s.ops)
+	return p, err
 }
 
-// absorbUDP applies one answered batch: next rates, the chosen-rate
-// histogram, and the byte-identical check against the submit-time wants.
-func (dr *driver) absorbUDP(s *udpSlot, out []int32) bool {
+// absorbUDP applies one answered batch to the closed loop: next rates
+// and the chosen-rate histogram (the -verify comparison already ran in
+// the OnResponse hook when the response arrived).
+func (dr *driver) absorbUDP(s *udpSlot, out []int32) {
 	for i, l := range s.batch {
 		l.rate = out[i]
 		if ri := out[i]; ri >= 0 && int(ri) < maxRates {
 			dr.res.rateCounts[ri]++
 		}
-		if dr.opt.verify && s.want[i] != out[i] {
-			dr.res.mismatch = fmt.Sprintf("algo %d link %d: server decided %d over udp, bare controller %d (op %+v)",
-				l.algo, l.id, out[i], s.want[i], s.ops[i])
-			return false
-		}
 	}
-	return true
+}
+
+// checkUDPVerify folds the hook-side mismatch (if any) into the client
+// result. Called after every Wait — including timed-out ones, since the
+// hook also fires for responses that arrive after their timeout.
+func (dr *driver) checkUDPVerify() bool {
+	if dr.uv == nil || dr.uv.mismatch == "" {
+		return true
+	}
+	dr.res.mismatch = dr.uv.mismatch
+	return false
 }
 
 // prewarmUDP is prewarm over the datagram transport. A dropped response
@@ -1388,7 +1509,10 @@ func (dr *driver) prewarmUDP() bool {
 			dr.res.err = err
 			return false
 		}
-		if ok && !dr.absorbUDP(&s, out) {
+		if ok {
+			dr.absorbUDP(&s, out)
+		}
+		if !dr.checkUDPVerify() {
 			return false
 		}
 		remaining -= len(s.ops)
@@ -1464,9 +1588,10 @@ func (dr *driver) runUDP(stop *atomic.Bool) clientResult {
 		if ok {
 			dr.res.lat.Observe(time.Since(s.t0))
 			dr.res.decisions += uint64(len(s.ops))
-			if !dr.absorbUDP(s, out) {
-				return dr.res
-			}
+			dr.absorbUDP(s, out)
+		}
+		if !dr.checkUDPVerify() {
+			return dr.res
 		}
 		s.busy = false
 	}

@@ -41,6 +41,7 @@ import (
 
 	"softrate/internal/coldstore"
 	"softrate/internal/ctl"
+	"softrate/internal/faultfs"
 	"softrate/internal/linkstore"
 	"softrate/internal/obs"
 	"softrate/internal/server"
@@ -66,6 +67,10 @@ func main() {
 		coldDir     = flag.String("cold-dir", "", "spill idle links to an append-only segment log in this directory (bounded resident memory; recovered at startup); empty = keep every idle link in RAM")
 		coldFront   = flag.Int("cold-front", 0, "RAM-archive link budget in front of the cold tier (recently evicted links restore without disk I/O); 0 = default "+fmt.Sprint(linkstore.DefaultColdFront))
 		compactRat  = flag.Float64("compact-ratio", 0, "dead-byte ratio past which a cold segment is rewritten, in (0,1]; 0 = default "+fmt.Sprint(coldstore.DefaultCompactRatio))
+		maxInflight = flag.Int("max-inflight", 0, "bound the Decide batches in flight across all transports: lossless transports queue at the gate, the UDP burst loop sheds; 0 = unbounded")
+		writeTO     = flag.Duration("tcp-write-timeout", 0, "evict a TCP peer whose socket stays write-blocked this long (a stuck client can't pin a handler or the drain); 0 = never")
+		chaosCold   = flag.Float64("chaos-cold", 0, "inject write-path faults into the cold tier at this per-op probability (testing only; see internal/faultfs); 0 = off")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the -chaos-cold fault schedule (same seed = same faults)")
 	)
 	flag.Parse()
 
@@ -77,11 +82,27 @@ func main() {
 
 	var cold *coldstore.Store
 	if *coldDir != "" {
+		ccfg := coldstore.Config{Dir: *coldDir, CompactRatio: *compactRat}
+		var inj *faultfs.Injector
+		if *chaosCold > 0 {
+			// Write-path faults only: spills fail (and trip the breaker)
+			// but restores that do reach disk read real bytes, so answered
+			// decisions stay byte-identical to a fault-free run. Disarmed
+			// until Open finishes — the service comes up healthy and then
+			// degrades, rather than failing to start.
+			inj = faultfs.Wrap(faultfs.OS{}, uint64(*chaosSeed), faultfs.ChaosRates(*chaosCold))
+			inj.Arm(false)
+			ccfg.FS = inj
+			fmt.Fprintf(os.Stderr, "softrated: CHAOS cold-tier fault injection on (rate %g, seed %d)\n", *chaosCold, *chaosSeed)
+		}
 		var err error
-		cold, err = coldstore.Open(coldstore.Config{Dir: *coldDir, CompactRatio: *compactRat})
+		cold, err = coldstore.Open(ccfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "softrated:", err)
 			os.Exit(1)
+		}
+		if inj != nil {
+			inj.Arm(true)
 		}
 		cs := cold.Stats()
 		fmt.Fprintf(os.Stderr, "softrated: cold tier at %s (%d links recovered, %d segments, %d torn tails truncated)\n",
@@ -97,7 +118,10 @@ func main() {
 		BatchWorkers:  *workers,
 		Cold:          cold,
 		ColdFront:     *coldFront,
-	}})
+	},
+		MaxInflight:  *maxInflight,
+		WriteTimeout: *writeTO,
+	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

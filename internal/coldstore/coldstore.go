@@ -42,15 +42,21 @@ package coldstore
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"softrate/internal/faultfs"
 	"softrate/internal/obs"
 	"softrate/internal/stats"
 )
+
+// segmentFile is the per-file I/O surface a segment needs. It is
+// faultfs.File so a fault-injecting Config.FS reaches every read, write
+// and sync the tier ever issues — there is no *os.File fast path to slip
+// past the injector.
+type segmentFile = faultfs.File
 
 const (
 	// segMagic/segVersion head every segment file.
@@ -94,6 +100,9 @@ type Config struct {
 	// durability, and the TTL-eviction write path should not pay an
 	// fsync per generation.
 	Sync bool
+	// FS is the filesystem the tier runs on. Nil means the real one
+	// (faultfs.OS); chaos runs pass a faultfs.Injector here.
+	FS faultfs.FS
 }
 
 // Record is one link's encoded state handed to PutBatch. State is only
@@ -107,7 +116,7 @@ type Record struct {
 // segment is one on-disk log file.
 type segment struct {
 	id        uint32
-	f         *os.File
+	f         segmentFile
 	size      int64 // committed bytes, including the header
 	liveBytes int64 // record bytes still referenced by the index
 	deadBytes int64 // record bytes superseded or restored
@@ -126,6 +135,7 @@ func (sg *segment) deadRatio() float64 {
 // Store is the disk-backed cold tier.
 type Store struct {
 	cfg          Config
+	fs           faultfs.FS
 	segmentBytes int64
 	compactRatio float64
 
@@ -177,11 +187,15 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.CompactRatio > 1 {
 		cfg.CompactRatio = 1
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS{}
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
 		return nil, err
 	}
 	s := &Store{
 		cfg:          cfg,
+		fs:           cfg.FS,
 		segmentBytes: int64(cfg.SegmentBytes),
 		compactRatio: cfg.CompactRatio,
 		segs:         make(map[uint32]*segment),
@@ -201,14 +215,14 @@ func Open(cfg Config) (*Store, error) {
 
 // recover scans the directory and rebuilds segments and index.
 func (s *Store) recover() error {
-	entries, err := os.ReadDir(s.cfg.Dir)
+	names, err := s.fs.ReadDir(s.cfg.Dir)
 	if err != nil {
 		return err
 	}
 	var ids []uint32
-	for _, e := range entries {
+	for _, name := range names {
 		var id uint32
-		if n, _ := fmt.Sscanf(e.Name(), "seg-%08d.slog", &id); n == 1 && e.Name() == segName(id) {
+		if n, _ := fmt.Sscanf(name, "seg-%08d.slog", &id); n == 1 && name == segName(id) {
 			ids = append(ids, id)
 		}
 	}
@@ -238,17 +252,17 @@ func (s *Store) recover() error {
 // openSegment opens an existing segment file, repairing a torn header
 // (a crash during creation) by rewriting it.
 func (s *Store) openSegment(id uint32) (*segment, error) {
-	f, err := os.OpenFile(s.segPath(id), os.O_RDWR, 0o644)
+	f, err := s.fs.Open(s.segPath(id))
 	if err != nil {
 		return nil, err
 	}
 	sg := &segment{id: id, f: f}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() < headerLen {
+	if size < headerLen {
 		if err := s.writeHeader(sg); err != nil {
 			f.Close()
 			return nil, err
@@ -265,7 +279,7 @@ func (s *Store) openSegment(id uint32) (*segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("coldstore: %s: not a cold-tier segment", s.segPath(id))
 	}
-	sg.size = st.Size()
+	sg.size = size
 	return sg, nil
 }
 
@@ -371,14 +385,14 @@ func (s *Store) markDeadN(sg *segment, n int64) {
 // rotateLocked seals the active segment and starts a new one.
 func (s *Store) rotateLocked() error {
 	id := s.nextSeg
-	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fs.Create(s.segPath(id))
 	if err != nil {
 		return err
 	}
 	sg := &segment{id: id, f: f}
 	if err := s.writeHeader(sg); err != nil {
 		f.Close()
-		os.Remove(s.segPath(id))
+		s.fs.Remove(s.segPath(id))
 		return err
 	}
 	s.nextSeg++
@@ -649,7 +663,7 @@ func (s *Store) CompactOnce() (bool, error) {
 		}
 	}
 	victim.f.Close()
-	if err := os.Remove(s.segPath(victim.id)); err != nil {
+	if err := s.fs.Remove(s.segPath(victim.id)); err != nil {
 		return false, err
 	}
 	delete(s.segs, victim.id)

@@ -1,0 +1,186 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// driveSequence runs one fixed operation script against a fresh injector
+// and returns a transcript of outcomes — bytes written per op and the
+// error kind observed — plus the file's final contents. Two injectors
+// with the same seed and rates must produce identical transcripts.
+func driveSequence(t *testing.T, dir string, seed uint64, r Rates) (string, []byte) {
+	t.Helper()
+	in := Wrap(OS{}, seed, r)
+	f, err := in.Create(filepath.Join(dir, "seq.dat"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	var log bytes.Buffer
+	off := int64(0)
+	for i := 0; i < 200; i++ {
+		p := make([]byte, 16+i%48)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		n, err := f.WriteAt(p, off)
+		fmt.Fprintf(&log, "w%d n=%d err=%v\n", i, n, err)
+		off += int64(n)
+		if i%17 == 0 {
+			fmt.Fprintf(&log, "s%d err=%v\n", i, f.Sync())
+		}
+	}
+	buf := make([]byte, off)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("final ReadAt: %v", err)
+	}
+	st := in.Stats()
+	fmt.Fprintf(&log, "stats=%+v\n", st)
+	return log.String(), buf
+}
+
+// TestDeterministicSchedule: same seed, same rates, same operation
+// sequence → the same faults in the same places, byte-for-byte. This is
+// the property -chaos-seed reproduction rests on.
+func TestDeterministicSchedule(t *testing.T) {
+	r := Rates{WriteErr: 0.2, ShortWrite: 0.15, SyncErr: 0.3}
+	logA, bytesA := driveSequence(t, t.TempDir(), 42, r)
+	logB, bytesB := driveSequence(t, t.TempDir(), 42, r)
+	if logA != logB {
+		t.Fatalf("same seed produced different fault transcripts:\n--- A ---\n%s--- B ---\n%s", logA, logB)
+	}
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatalf("same seed left different bytes on disk (%d vs %d)", len(bytesA), len(bytesB))
+	}
+}
+
+// TestShortWritePersistsStrictPrefix: a torn write must land 1..len-1
+// bytes — exactly the prefix reported — and then fail with an injected
+// I/O error, never a clean success and never zero bytes (that would be
+// WriteErr's shape, not a tear).
+func TestShortWritePersistsStrictPrefix(t *testing.T) {
+	in := Wrap(OS{}, 7, Rates{ShortWrite: 1})
+	f, err := in.Create(filepath.Join(t.TempDir(), "torn.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := make([]byte, 100)
+	for i := range p {
+		p[i] = byte(i + 1)
+	}
+	n, err := f.WriteAt(p, 0)
+	if !IsInjected(err) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write returned %v, want injected EIO", err)
+	}
+	if n < 1 || n >= len(p) {
+		t.Fatalf("torn write persisted %d of %d bytes, want a strict prefix", n, len(p))
+	}
+	got := make([]byte, n)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("reading back the prefix: %v", err)
+	}
+	if !bytes.Equal(got, p[:n]) {
+		t.Fatalf("persisted bytes differ from the written prefix")
+	}
+	if sz, err := f.Size(); err != nil || sz != int64(n) {
+		t.Fatalf("file size %d (err %v), want exactly the torn prefix %d", sz, err, n)
+	}
+	if st := in.Stats(); st.ShortWrites != 1 {
+		t.Fatalf("stats counted %d short writes, want 1", st.ShortWrites)
+	}
+}
+
+// TestWriteBudgetENOSPC: writes past the byte budget persist what fits
+// and fail with disk-full semantics that errors.Is-match ENOSPC.
+func TestWriteBudgetENOSPC(t *testing.T) {
+	in := Wrap(OS{}, 1, Rates{WriteBudget: 10})
+	f, err := in.Create(filepath.Join(t.TempDir(), "full.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n, err := f.WriteAt(make([]byte, 8), 0); n != 8 || err != nil {
+		t.Fatalf("write within budget: n=%d err=%v", n, err)
+	}
+	n, err := f.WriteAt([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	if n != 2 || !errors.Is(err, ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget: n=%d err=%v, want n=2 and injected ENOSPC", n, err)
+	}
+	if n, err := f.WriteAt([]byte{9}, 10); n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write on a full disk: n=%d err=%v, want 0 and ENOSPC", n, err)
+	}
+	if st := in.Stats(); st.NoSpace != 2 {
+		t.Fatalf("stats counted %d ENOSPC faults, want 2", st.NoSpace)
+	}
+}
+
+// TestArmDisarm: a disarmed injector is a pure passthrough (the
+// healthy-at-startup shape both binaries rely on to open the cold tier
+// cleanly before arming chaos), and arming later turns the schedule on.
+func TestArmDisarm(t *testing.T) {
+	in := Wrap(OS{}, 3, Rates{WriteErr: 1, ReadErr: 1, WriteBudget: 4})
+	in.Arm(false)
+	f, err := in.Create(filepath.Join(t.TempDir(), "armed.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Disarmed: certain-probability faults never fire and the budget is
+	// not charged.
+	if n, err := f.WriteAt(make([]byte, 64), 0); n != 64 || err != nil {
+		t.Fatalf("disarmed write: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("disarmed read: %v", err)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("disarmed injector delivered faults: %+v", st)
+	}
+	in.Arm(true)
+	if _, err := f.WriteAt([]byte{1}, 64); !errors.Is(err, ErrIO) {
+		t.Fatalf("armed write: %v, want injected EIO", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrIO) {
+		t.Fatalf("armed read: %v, want injected EIO", err)
+	}
+}
+
+// TestIsInjected: classification must hold through wrapping, match the
+// underlying errnos, and reject unrelated errors.
+func TestIsInjected(t *testing.T) {
+	if !IsInjected(ErrIO) || !IsInjected(ErrNoSpace) {
+		t.Fatal("sentinels not classified as injected")
+	}
+	if !IsInjected(fmt.Errorf("spill: %w", ErrIO)) {
+		t.Fatal("wrapped injected error not classified")
+	}
+	if IsInjected(io.ErrUnexpectedEOF) || IsInjected(nil) {
+		t.Fatal("unrelated error classified as injected")
+	}
+	if !errors.Is(ErrIO, syscall.EIO) || !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("injected errors do not match their errnos")
+	}
+}
+
+// TestChaosRatesReadPathClean: the standard chaos mix must never touch
+// the read path — a read fault changes decisions (fresh-controller
+// fallthrough), which would break the chaos smoke's exact-verify.
+func TestChaosRatesReadPathClean(t *testing.T) {
+	r := ChaosRates(0.25)
+	if r.ReadErr != 0 {
+		t.Fatalf("ChaosRates sets ReadErr=%v; the exact-verify contract needs a clean read path", r.ReadErr)
+	}
+	if r.WriteErr == 0 || r.ShortWrite == 0 || r.SyncErr == 0 || r.Stall == 0 {
+		t.Fatalf("ChaosRates left write-path faults off: %+v", r)
+	}
+	if ChaosRates(0) != (Rates{}) {
+		t.Fatal("ChaosRates(0) should inject nothing")
+	}
+}

@@ -45,6 +45,8 @@ package linkstore
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -198,12 +200,34 @@ type Stats struct {
 	// ColdErrors counts cold-tier operations that failed (the store falls
 	// back to a fresh controller on a failed restore and keeps spill
 	// generations in RAM on a failed spill — never loses state silently).
+	// It is the sum of ColdSpillErrors and ColdRestoreErrors.
 	ColdErrors uint64
+	// ColdSpillErrors counts failed generation spills (PutBatch errors);
+	// each left its generation resident in RAM. ColdRestoreErrors counts
+	// failed Take restores; each fell through to a fresh controller.
+	ColdSpillErrors   uint64
+	ColdRestoreErrors uint64
+	// ColdDegraded reports the cold-tier breaker is open: persistent spill
+	// failures have switched the store to the unbounded RAM archive until
+	// a backoff-paced probe spill succeeds.
+	ColdDegraded bool
+	// BreakerTrips counts closed→open breaker transitions; SpillRetries
+	// counts half-open probe spills attempted while the breaker was open.
+	BreakerTrips uint64
+	SpillRetries uint64
 }
 
 // DefaultColdFront is the store-wide RAM-archive link budget when a cold
 // tier is attached and Config.ColdFront is zero.
 const DefaultColdFront = 65536
+
+// Cold-tier breaker schedule: trip after this many consecutive spill
+// failures, then probe with exponential backoff between these bounds.
+const (
+	breakerTripAfter  = 3
+	breakerMinBackoff = 100 * time.Millisecond
+	breakerMaxBackoff = 10 * time.Second
+)
 
 // inlineState is the largest encoded state kept inline in the entry.
 const inlineState = 8
@@ -349,8 +373,24 @@ type Store struct {
 	slabReserve int // per-shard slab capacity hint, in slots
 	cold        *coldstore.Store
 	genCap      int // per-shard archive-generation cap (links), 0 = unbounded
-	coldErrors  atomic.Uint64
 	shards      []shard
+
+	// Cold-tier failure accounting and the degradation breaker. Spill
+	// failures never lose state — the failing generation stays resident —
+	// so the breaker's job is purely to stop hammering a broken disk:
+	// after breakerTripAfter consecutive spill failures rotations stop
+	// attempting disk I/O (the RAM archive grows unbounded, exactly the
+	// no-cold-tier behavior) and one probe spill is allowed per backoff
+	// interval, doubling up to breakerMaxBackoff until a probe succeeds.
+	coldSpillErrors   atomic.Uint64
+	coldRestoreErrors atomic.Uint64
+	breakerTrips      atomic.Uint64
+	spillRetries      atomic.Uint64
+	breakerMu         sync.Mutex
+	breakerOpen       bool
+	consecSpillFails  int
+	retryAt           int64 // clock ns of the next allowed probe while open
+	retryBackoff      int64 // current backoff ns, doubling to the cap
 
 	scratchPool sync.Pool // *batchScratch, for ApplyBatch routing
 }
@@ -565,7 +605,7 @@ func (sh *shard) reviveLocked(st *Store, a archived) entry {
 func (sh *shard) coldRestoreLocked(st *Store, id uint64) (entry, bool) {
 	algoB, state, ok, err := st.cold.Take(id, sh.coldBuf[:0])
 	if err != nil {
-		st.coldErrors.Add(1)
+		st.coldRestoreErrors.Add(1)
 		return entry{}, false
 	}
 	if !ok {
@@ -576,7 +616,7 @@ func (sh *shard) coldRestoreLocked(st *Store, id uint64) (entry, bool) {
 	if int(a) >= len(st.widths) || st.widths[a] != len(state) {
 		// A record from an unregistered algorithm or the wrong width —
 		// possible only across an incompatible binary change. Refuse it.
-		st.coldErrors.Add(1)
+		st.coldRestoreErrors.Add(1)
 		return entry{}, false
 	}
 	w := st.widths[a]
@@ -751,20 +791,88 @@ func (sh *shard) sweepLocked(st *Store, now int64) int {
 	// (spill old, swap the burst into old, spill it too).
 	for st.genCap > 0 &&
 		(len(sh.archive) >= st.genCap || len(sh.archive)+len(sh.archiveOld) > 2*st.genCap) {
-		if !sh.rotateArchiveLocked(st) {
-			break // spill error: keep both generations, retry next sweep
+		if !sh.rotateArchiveLocked(st, now) {
+			break // spill error or open breaker: keep both generations in RAM
 		}
 	}
 	return evicted
+}
+
+// coldSpillAllowed reports whether a rotation may attempt a disk spill
+// now, and whether that attempt is a half-open probe of an open breaker.
+// Granting a probe re-arms retryAt immediately, so concurrently sweeping
+// shards don't all probe a disk that just failed.
+func (st *Store) coldSpillAllowed(now int64) (allowed, probe bool) {
+	st.breakerMu.Lock()
+	defer st.breakerMu.Unlock()
+	if !st.breakerOpen {
+		return true, false
+	}
+	if now >= st.retryAt {
+		st.retryAt = now + st.retryBackoff
+		return true, true
+	}
+	return false, false
+}
+
+// coldSpillResult feeds one spill outcome into the breaker: any success
+// closes it and resets the backoff; breakerTripAfter consecutive failures
+// open it, and each further failure doubles the probe backoff up to
+// breakerMaxBackoff.
+func (st *Store) coldSpillResult(err error) {
+	st.breakerMu.Lock()
+	defer st.breakerMu.Unlock()
+	if err == nil {
+		st.breakerOpen = false
+		st.consecSpillFails = 0
+		st.retryBackoff = 0
+		return
+	}
+	st.consecSpillFails++
+	if !st.breakerOpen {
+		if st.consecSpillFails < breakerTripAfter {
+			return
+		}
+		st.breakerOpen = true
+		st.breakerTrips.Add(1)
+	}
+	if st.retryBackoff == 0 {
+		st.retryBackoff = breakerMinBackoff.Nanoseconds()
+	} else if st.retryBackoff < breakerMaxBackoff.Nanoseconds() {
+		st.retryBackoff *= 2
+		if st.retryBackoff > breakerMaxBackoff.Nanoseconds() {
+			st.retryBackoff = breakerMaxBackoff.Nanoseconds()
+		}
+	}
+	st.retryAt = st.cfg.Clock() + st.retryBackoff
+}
+
+// ColdDegraded reports whether the cold-tier breaker is open (the store
+// is running on the unbounded RAM archive until a probe spill succeeds).
+func (st *Store) ColdDegraded() bool {
+	st.breakerMu.Lock()
+	defer st.breakerMu.Unlock()
+	return st.breakerOpen
 }
 
 // rotateArchiveLocked ages the archive one generation: the old
 // generation is spilled to the cold tier in one group-committed batch
 // and its (emptied) map becomes the new current generation. On a spill
 // error both generations stay in RAM — nothing is lost, the rotation
-// retries at the next sweep — and the rotation reports failure. Caller
-// holds sh.mu.
-func (sh *shard) rotateArchiveLocked(st *Store) bool {
+// retries at the next sweep — and the rotation reports failure. While
+// the breaker is open the spill isn't even attempted (beyond one
+// backoff-paced probe): the store has formally degraded to the
+// unbounded RAM archive. Caller holds sh.mu.
+func (sh *shard) rotateArchiveLocked(st *Store, now int64) bool {
+	if len(sh.archiveOld) > 0 {
+		allowed, probe := st.coldSpillAllowed(now)
+		if !allowed {
+			return false
+		}
+		if probe {
+			st.spillRetries.Add(1)
+		}
+	}
 	if err := sh.spillGenLocked(st, sh.archiveOld); err != nil {
 		return false
 	}
@@ -804,8 +912,9 @@ func (sh *shard) spillGenLocked(st *Store, gen map[uint64]archived) error {
 	}
 	err := st.cold.PutBatch(recs)
 	sh.spillBuf, sh.spillRecs, sh.spillOffs = buf[:0], recs[:0], offs[:0]
+	st.coldSpillResult(err)
 	if err != nil {
-		st.coldErrors.Add(1)
+		st.coldSpillErrors.Add(1)
 		return err
 	}
 	for _, a := range gen {
@@ -1002,15 +1111,19 @@ func (st *Store) Peek(id uint64) (ctl.Algo, []byte, bool) {
 // reopens the same cold directory restores every link byte-identically,
 // including links that had been taken back from disk since their last
 // spill. Returns the number of links spilled; a no-op without a cold
-// tier. On error the affected shard keeps its state in RAM (and the
-// error is returned after all shards are attempted).
+// tier. Every shard is attempted regardless of earlier failures (and
+// regardless of the breaker — this is the last chance to persist); a
+// failing shard keeps its state in RAM, and the returned error joins
+// every shard's failure (errors.Join, each wrapped with its shard index)
+// so a partial drain spill is diagnosable from the exit dump. The
+// per-failure counts also land in Stats.ColdSpillErrors.
 func (st *Store) SpillAll() (int, error) {
 	if st.cold == nil {
 		return 0, nil
 	}
 	now := st.cfg.Clock()
 	total := 0
-	var firstErr error
+	var errs []error
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
@@ -1025,16 +1138,14 @@ func (st *Store) SpillAll() (int, error) {
 			err = sh.spillGenLocked(st, sh.archive)
 		}
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		} else {
 			total += n
 		}
 		sh.lastSweep = now
 		sh.mu.Unlock()
 	}
-	return total, firstErr
+	return total, errors.Join(errs...)
 }
 
 // EvictIdle sweeps every shard now, evicting links idle for at least the
@@ -1110,7 +1221,12 @@ func (st *Store) Stats() Stats {
 		cs := st.cold.Stats()
 		out.Cold = &cs
 	}
-	out.ColdErrors = st.coldErrors.Load()
+	out.ColdSpillErrors = st.coldSpillErrors.Load()
+	out.ColdRestoreErrors = st.coldRestoreErrors.Load()
+	out.ColdErrors = out.ColdSpillErrors + out.ColdRestoreErrors
+	out.ColdDegraded = st.ColdDegraded()
+	out.BreakerTrips = st.breakerTrips.Load()
+	out.SpillRetries = st.spillRetries.Load()
 	return out
 }
 

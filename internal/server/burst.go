@@ -39,6 +39,7 @@ type dgramState struct {
 	bursts obs.Counter // burst loop iterations that served >= 1 datagram
 	drops  obs.Counter // malformed datagrams dropped without a response
 	txErrs obs.Counter // responses the transport failed to write
+	shed   obs.Counter // datagrams shed unserved at a saturated gate
 
 	reqV1, reqV2, reqV3 obs.Counter // request payloads by framing version
 

@@ -28,6 +28,19 @@ type Config struct {
 	// Store configures the underlying link store. Zero values give a
 	// 64-shard store of default controllers with no eviction.
 	Store linkstore.Config
+	// MaxInflight, when > 0, bounds the Decide batches in flight across
+	// every transport and in-process caller. Lossless transports (TCP,
+	// shm) block at the gate — bounded admission, backpressure through
+	// the connection — while the UDP burst loop sheds whole bursts when
+	// the gate is saturated (the datagram loss contract: the client
+	// times out and keeps its rate). 0 means unbounded.
+	MaxInflight int
+	// WriteTimeout, when > 0, is the TCP per-connection write deadline: a
+	// peer that stops reading long enough for the server's 64 KB write
+	// buffer and both socket buffers to fill is evicted after this long
+	// blocked, instead of pinning its handler (and the drain path)
+	// forever. 0 means no deadline.
+	WriteTimeout time.Duration
 }
 
 // Stats are the service-level counters (cumulative, atomically updated).
@@ -82,11 +95,30 @@ type Server struct {
 	// is shared in tcp; only the accounting is per transport).
 	udp dgramState
 	shm dgramState
+
+	// gate is the Decide admission semaphore (nil = unbounded): a
+	// buffered channel of MaxInflight tokens, so acquire/release are
+	// allocation-free and len/cap double as the inflight/limit gauges.
+	gate         chan struct{}
+	writeTimeout time.Duration
 }
 
 // New builds a Server.
 func New(cfg Config) *Server {
-	return &Server{store: linkstore.New(cfg.Store), ttl: cfg.Store.TTL, start: time.Now()}
+	s := &Server{store: linkstore.New(cfg.Store), ttl: cfg.Store.TTL, start: time.Now(),
+		writeTimeout: cfg.WriteTimeout}
+	if cfg.MaxInflight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// gateSaturated reports that the admission gate exists and every token is
+// taken — the UDP burst loop's shed signal. It is a racy read by design:
+// admission is decided per burst without taking the gate, so a burst that
+// squeaks past a momentarily full gate just blocks briefly in Decide.
+func (s *Server) gateSaturated() bool {
+	return s.gate != nil && len(s.gate) == cap(s.gate)
 }
 
 // Store exposes the underlying link store (for embedding scenarios that
@@ -102,10 +134,20 @@ func (s *Server) Decide(ops []linkstore.Op, out []int32) []int32 {
 	// iterations; they are then folded in with one atomic per kind per
 	// batch, not one per record — the counters share a cache line and
 	// concurrent Decide callers would otherwise bounce it for every frame.
+	// Bounded admission: lossless callers queue here (FIFO per channel
+	// semantics) rather than oversubscribing the store. Channel send and
+	// receive of struct{} never allocate, so the warm path stays 0 allocs
+	// with the gate on.
+	if s.gate != nil {
+		s.gate <- struct{}{}
+	}
 	var bs linkstore.BatchStats
 	t0 := time.Now()
 	res := s.store.ApplyBatchStats(ops, out, &bs)
 	d := time.Since(t0)
+	if s.gate != nil {
+		<-s.gate
+	}
 	atomic.AddUint64(&s.batches, 1)
 	atomic.AddUint64(&s.frames, uint64(len(ops)))
 	for k, n := range bs.Kinds {

@@ -286,15 +286,31 @@ func (c *SHMClient) Submit(ops []linkstore.Op) (*Pending, error) {
 	}
 	id := c.nextID
 	c.buf = AppendOpsV3(c.buf[:0], id, ops)
-	deadline := time.Now().Add(c.timeout)
+	// Deadline checks ride the backoff tiers: the warm spin tier never
+	// reads the clock (a Push retry is tens of nanoseconds, so a
+	// time.Now() per spin would dominate the loop), and past it one read
+	// per sleep is noise against the sleep itself.
+	var deadline time.Time
+	spins := 0
 	for !c.g.Request().Push(c.buf) {
 		if c.g.Draining() {
 			return nil, c.poison(ErrDraining)
 		}
-		if !time.Now().Before(deadline) {
+		spins++
+		if spins < shmSpinSweeps {
+			runtime.Gosched()
+			continue
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(c.timeout)
+		} else if !time.Now().Before(deadline) {
 			return nil, c.poison(errors.New("server: shm request ring full past timeout (server gone?)"))
 		}
-		runtime.Gosched()
+		if spins < 4*shmSpinSweeps {
+			time.Sleep(shmBusySleep)
+		} else {
+			time.Sleep(shmIdleSleep)
+		}
 	}
 	c.nextID++
 	c.subSlot++
@@ -316,7 +332,11 @@ func (c *SHMClient) Wait(p *Pending, out []int32) ([]int32, error) {
 	if p == nil || !p.live {
 		return nil, errors.New("server: Wait on a Pending that is not in flight")
 	}
-	deadline := time.Now().Add(c.timeout)
+	// As in Submit, the warm spin tier is clock-free: the deadline is
+	// armed when the first sleep tier is reached and checked once per
+	// sleep, so a response that lands within the spin window costs zero
+	// time.Now() calls.
+	var deadline time.Time
 	empties := 0
 	for !p.done {
 		resp, ok := c.g.Response().Peek()
@@ -329,15 +349,17 @@ func (c *SHMClient) Wait(p *Pending, out []int32) ([]int32, error) {
 					return nil, c.poison(ErrDraining)
 				}
 			}
-			if !time.Now().Before(deadline) {
-				return nil, c.poison(errors.New("server: shm response timeout (server gone?)"))
-			}
 			empties++
 			if empties < shmSpinSweeps {
 				runtime.Gosched()
-			} else {
-				time.Sleep(shmBusySleep)
+				continue
 			}
+			if deadline.IsZero() {
+				deadline = time.Now().Add(c.timeout)
+			} else if !time.Now().Before(deadline) {
+				return nil, c.poison(errors.New("server: shm response timeout (server gone?)"))
+			}
+			time.Sleep(shmBusySleep)
 			continue
 		}
 		empties = 0

@@ -270,3 +270,45 @@ func TestDialSHMRejectsGarbageFile(t *testing.T) {
 		t.Fatal("DialSHM accepted a garbage file")
 	}
 }
+
+// BenchmarkSHMDecideRoundTrip guards the client's warm polling path: on
+// a live server a round trip completes inside the clock-free spin tier,
+// so Submit/Wait should read the wall clock zero times per decision. A
+// time.Now() creeping back into the per-spin loops shows up here as a
+// step change in ns/op.
+func BenchmarkSHMDecideRoundTrip(b *testing.B) {
+	srv := New(Config{Store: linkstore.Config{Shards: 32}})
+	path := filepath.Join(b.TempDir(), "ring")
+	g, err := shmring.Create(path, shmring.MinCapacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeSHM([]*shmring.Region{g}) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			b.Errorf("ServeSHM: %v", err)
+		}
+		g.Close()
+	}()
+	cli, err := DialSHM(path, 1, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	ops := randOps(rng, 64, 200)
+	out := make([]int32, len(ops))
+	if _, err := cli.Decide(ops, out); err != nil { // warm the rings
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Decide(ops, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

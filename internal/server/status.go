@@ -57,8 +57,22 @@ type TransportStatus struct {
 	// nonzero only for loopback/embedded clients (a remote softrated
 	// always reports 0 here; its clients poison themselves).
 	ClientsPoisoned uint64 `json:"clients_poisoned"`
+	// SlowClientsEvicted counts connections dropped by the write-deadline
+	// policy: the peer stopped reading until the server's write path
+	// blocked for the full Config.WriteTimeout.
+	SlowClientsEvicted uint64 `json:"slow_clients_evicted"`
 	// Draining reports that a graceful drain is in progress or done.
 	Draining bool `json:"draining"`
+}
+
+// OverloadStatus is the admission-gate snapshot.
+type OverloadStatus struct {
+	// MaxInflight is the configured Decide concurrency bound (0 =
+	// unbounded, and Inflight then always reads 0).
+	MaxInflight int `json:"max_inflight"`
+	// Inflight is the number of Decide batches holding a gate token at
+	// snapshot time.
+	Inflight int `json:"inflight"`
 }
 
 // DatagramStatus is a datagram transport's (UDP or shm) counter
@@ -81,6 +95,9 @@ type DatagramStatus struct {
 	// response; TxErrors responses the transport failed to write.
 	Drops    uint64 `json:"drops"`
 	TxErrors uint64 `json:"tx_errors"`
+	// Shed counts datagrams dropped unserved because the admission gate
+	// was saturated (UDP only; the loss contract covers them).
+	Shed uint64 `json:"shed"`
 	// RequestsV1/V2/V3 count well-formed request payloads by framing
 	// version.
 	RequestsV1 uint64 `json:"requests_v1"`
@@ -104,6 +121,7 @@ func (st *dgramState) status() DatagramStatus {
 		BurstSizes:    make(map[string]uint64, burstBucketCount),
 		Drops:         st.drops.Load(),
 		TxErrors:      st.txErrs.Load(),
+		Shed:          st.shed.Load(),
 		RequestsV1:    st.reqV1.Load(),
 		RequestsV2:    st.reqV2.Load(),
 		RequestsV3:    st.reqV3.Load(),
@@ -137,6 +155,8 @@ type Status struct {
 	Transport TransportStatus `json:"transport"`
 	UDP       DatagramStatus  `json:"udp"`
 	SHM       DatagramStatus  `json:"shm"`
+	// Overload is the admission-gate snapshot.
+	Overload OverloadStatus `json:"overload"`
 }
 
 // slotName returns the metric label of a per-algorithm slot.
@@ -184,6 +204,9 @@ func (s *Server) Status() Status {
 	out.Transport = s.transportStatus()
 	out.UDP = s.udp.status()
 	out.SHM = s.shm.status()
+	if s.gate != nil {
+		out.Overload = OverloadStatus{MaxInflight: cap(s.gate), Inflight: len(s.gate)}
+	}
 	return out
 }
 
@@ -204,6 +227,7 @@ func writeDatagramProm(w io.Writer, transport string, d *DatagramStatus) {
 	obs.PromSample(w, p+"_burst_size_count", "", float64(cum))
 	obs.PromCounter(w, p+"_drops_total", "", transport+" malformed payloads dropped without a response", d.Drops)
 	obs.PromCounter(w, p+"_tx_errors_total", "", transport+" responses the transport failed to write", d.TxErrors)
+	obs.PromCounter(w, p+"_shed_total", "", transport+" datagrams shed unserved at a saturated admission gate", d.Shed)
 	obs.PromHeader(w, p+"_requests_total", "counter", transport+" request payloads by wire framing version")
 	obs.PromSample(w, p+"_requests_total", `version="v1"`, float64(d.RequestsV1))
 	obs.PromSample(w, p+"_requests_total", `version="v2"`, float64(d.RequestsV2))
@@ -278,6 +302,15 @@ func (s *Server) WritePrometheus(w io.Writer) {
 		obs.PromCounter(w, "softrated_cold_compactions_total", "", "disk-tier segments reclaimed by compaction", c.Compactions)
 		obs.PromCounter(w, "softrated_cold_torn_tails_total", "", "partial batch tails truncated at recovery", c.TornTails)
 		obs.PromCounter(w, "softrated_cold_errors_total", "", "failed cold-tier operations (the store fell back without losing state)", st.Store.ColdErrors)
+		obs.PromCounter(w, "softrated_cold_spill_errors_total", "", "failed generation spills (each kept its generation resident in RAM)", st.Store.ColdSpillErrors)
+		obs.PromCounter(w, "softrated_cold_restore_errors_total", "", "failed disk restores (each fell through to a fresh controller)", st.Store.ColdRestoreErrors)
+		degraded := 0.0
+		if st.Store.ColdDegraded {
+			degraded = 1
+		}
+		obs.PromGauge(w, "softrated_cold_degraded", "", "1 while the cold-tier breaker is open and the store runs on the unbounded RAM archive", degraded)
+		obs.PromCounter(w, "softrated_cold_breaker_trips_total", "", "cold-tier breaker closed-to-open transitions", st.Store.BreakerTrips)
+		obs.PromCounter(w, "softrated_cold_spill_retries_total", "", "half-open probe spills attempted while the breaker was open", st.Store.SpillRetries)
 		obs.PromHeader(w, "softrated_cold_restore_latency_seconds", "histogram", "disk-restore latency")
 		obs.PromHistogramSamples(w, "softrated_cold_restore_latency_seconds", "", &c.RestoreHist)
 	}
@@ -290,6 +323,9 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	obs.PromSample(w, "softrated_requests_total", `version="v3"`, float64(st.Transport.RequestsV3))
 	obs.PromCounter(w, "softrated_framing_errors_total", "", "protocol violations (each drops its connection)", st.Transport.FramingErrors)
 	obs.PromCounter(w, "softrated_clients_poisoned_total", "", "in-process clients poisoned by transport errors", st.Transport.ClientsPoisoned)
+	obs.PromCounter(w, "softrated_slow_clients_evicted_total", "", "TCP connections evicted by the write-deadline policy", st.Transport.SlowClientsEvicted)
+	obs.PromGauge(w, "softrated_max_inflight", "", "configured Decide admission bound (0 = unbounded)", float64(st.Overload.MaxInflight))
+	obs.PromGauge(w, "softrated_decide_inflight", "", "Decide batches holding an admission token", float64(st.Overload.Inflight))
 	draining := 0.0
 	if st.Transport.Draining {
 		draining = 1

@@ -59,6 +59,7 @@ type tcpState struct {
 	reqV2         obs.Counter
 	reqV3         obs.Counter
 	framingErrors obs.Counter
+	slowEvicted   obs.Counter
 }
 
 // clientPoisons counts Client poisonings process-wide (the client side
@@ -69,14 +70,15 @@ var clientPoisons obs.Counter
 // transportStatus snapshots the transport counters.
 func (s *Server) transportStatus() TransportStatus {
 	return TransportStatus{
-		ConnsAccepted:   s.tcp.accepted.Load(),
-		ConnsActive:     s.tcp.active.Load(),
-		RequestsV1:      s.tcp.reqV1.Load(),
-		RequestsV2:      s.tcp.reqV2.Load(),
-		RequestsV3:      s.tcp.reqV3.Load(),
-		FramingErrors:   s.tcp.framingErrors.Load(),
-		ClientsPoisoned: clientPoisons.Load(),
-		Draining:        s.tcp.draining.Load(),
+		ConnsAccepted:      s.tcp.accepted.Load(),
+		ConnsActive:        s.tcp.active.Load(),
+		RequestsV1:         s.tcp.reqV1.Load(),
+		RequestsV2:         s.tcp.reqV2.Load(),
+		RequestsV3:         s.tcp.reqV3.Load(),
+		FramingErrors:      s.tcp.framingErrors.Load(),
+		ClientsPoisoned:    clientPoisons.Load(),
+		SlowClientsEvicted: s.tcp.slowEvicted.Load(),
+		Draining:           s.tcp.draining.Load(),
 	}
 }
 
@@ -293,18 +295,39 @@ func (s *Server) handleConn(conn net.Conn) {
 		for i, ri := range out[:len(ops)] {
 			resp[off+4+i] = uint8(ri)
 		}
+		// Slow-client eviction: arm the write deadline only when this
+		// iteration can actually touch the socket (the buffered write
+		// below would overflow into a flush, or the explicit flush runs).
+		// A peer that has stopped reading then errors out of the write
+		// within WriteTimeout instead of pinning this handler — and the
+		// drain path — on a full socket buffer forever.
+		flushing := br.Buffered() == 0
+		if s.writeTimeout > 0 && (flushing || bw.Available() < len(resp)) {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if _, err := bw.Write(resp); err != nil {
+			s.noteWriteError(err)
 			return
 		}
 		// Pipelining: defer the flush while more request bytes are already
 		// buffered — the pending responses go out in one write once the
 		// burst is served. (bufio transparently flushes earlier if the
 		// responses outgrow the buffer.)
-		if br.Buffered() == 0 {
+		if flushing {
 			if err := bw.Flush(); err != nil {
+				s.noteWriteError(err)
 				return
 			}
 		}
+	}
+}
+
+// noteWriteError counts a response write that failed on its deadline: a
+// stuck peer evicted by the slow-client policy (other write errors — the
+// peer vanished mid-write — just end the handler as before).
+func (s *Server) noteWriteError(err error) {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		s.tcp.slowEvicted.Inc()
 	}
 }
 

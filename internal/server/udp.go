@@ -134,6 +134,18 @@ func (s *Server) ServeUDP(conn *net.UDPConn) error {
 			count++
 		}
 
+		// Overload shedding: with the admission gate saturated, drop the
+		// whole burst before decoding — no Decide, no responses. Under
+		// the transport's loss contract this is indistinguishable from
+		// the datagrams being lost in flight (clients time out and keep
+		// their rates; crucially, the ops are NOT applied, so answered
+		// decisions elsewhere stay byte-identical), and it keeps a
+		// datagram flood from queueing unboundedly behind the lossless
+		// transports at the gate.
+		if s.gateSaturated() {
+			s.udp.shed.Add(uint64(count))
+			continue
+		}
 		eng.reset()
 		for i := 0; i < count; i++ {
 			eng.add(slab[i*MaxDatagram : i*MaxDatagram+sizes[i]]).addr = addrs[i]
@@ -176,6 +188,16 @@ type UDPClient struct {
 	// tests and CI chaos smokes — leave nil in production.
 	DropResponse func(seq uint32) bool
 
+	// OnResponse, when non-nil, observes every well-formed response
+	// datagram the moment it arrives — before the DropResponse shim and
+	// regardless of whether the request is still in flight (late and
+	// duplicate responses fire it too). A response existing proves the
+	// server APPLIED seq's ops, which is exactly what an exact-replay
+	// verifier needs to know: a request the server shed produces no
+	// response and never fires the hook. rates is only valid during the
+	// call. Leave nil in production.
+	OnResponse func(seq uint32, rates []byte)
+
 	stats UDPClientStats
 }
 
@@ -189,6 +211,11 @@ type UDPPending struct {
 	deadline time.Time
 	rates    []byte
 }
+
+// Seq is the request's datagram sequence number — the key OnResponse
+// reports, so external verifiers can correlate submissions with the
+// responses that prove them applied.
+func (p *UDPPending) Seq() uint32 { return p.seq }
 
 // UDPClientStats counts the client's datagram fates.
 type UDPClientStats struct {
@@ -330,6 +357,9 @@ func (c *UDPClient) accept(b []byte) {
 	if uint64(len(b)-8) != uint64(count) {
 		c.stats.Malformed++
 		return
+	}
+	if c.OnResponse != nil {
+		c.OnResponse(seq, b[8:])
 	}
 	if c.DropResponse != nil && c.DropResponse(seq) {
 		c.stats.Injected++
